@@ -1,0 +1,9 @@
+"""Benchmark fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _print_rendered(request, capsys):
+    """Let benchmarks emit the paper-style tables without clutter."""
+    yield

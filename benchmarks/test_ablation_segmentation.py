@@ -1,0 +1,43 @@
+"""Ablation: bus segmentation's effect on interconnect energy.
+
+Section 2.3 argues segmentation gives local bandwidth "for very little
+cost in area and power".  Here we measure the interconnect-power side:
+transfers that charge only their own segments versus transfers that
+always charge the full 10 mm bus.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.power.model import PowerModel
+from repro.workloads.configs import all_applications
+
+
+def test_segmentation_saves_interconnect_power(benchmark):
+    def run():
+        model = PowerModel()
+        out = {}
+        for key, config in all_applications().items():
+            segmented = 0.0
+            unsegmented = 0.0
+            for spec in config.specs:
+                local = replace(
+                    spec, comm=replace(spec.comm, span_fraction=0.4)
+                )
+                full = replace(
+                    spec, comm=replace(spec.comm, span_fraction=1.0)
+                )
+                segmented += model.component_power(local).bus_mw
+                unsegmented += model.component_power(full).bus_mw
+            out[key] = (segmented, unsegmented)
+        return out
+
+    results = benchmark(run)
+    print()
+    print(f"{'Application':14s} {'seg. mW':>9} {'flat mW':>9}")
+    for key, (segmented, unsegmented) in results.items():
+        print(f"{key:14s} {segmented:9.1f} {unsegmented:9.1f}")
+        if unsegmented > 0:
+            assert segmented == pytest.approx(0.4 * unsegmented,
+                                              rel=1e-6)

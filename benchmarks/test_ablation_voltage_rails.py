@@ -1,0 +1,51 @@
+"""Ablation: discrete voltage rails vs a continuous supply.
+
+Section 2.4 restricts each design to "a small set of frequencies and
+voltages".  This bench quantifies what that simplification costs: the
+power delta between quantizing to the Table 4 rails and running every
+column at its continuous minimum voltage.
+"""
+
+import pytest
+
+from repro.power.model import PowerModel
+from repro.tech.vf_curve import VoltageFrequencyCurve
+from repro.workloads.configs import all_applications
+
+
+def _continuous_power(config):
+    curve = VoltageFrequencyCurve.from_technology()
+    model = PowerModel()
+    total = 0.0
+    for spec in config.specs:
+        voltage = curve.min_voltage_for(spec.frequency_mhz)
+        total += model.component_power(
+            spec, voltage_override=voltage
+        ).total_mw
+    return total
+
+
+def test_rail_quantization_cost(benchmark):
+    def run():
+        out = {}
+        model = PowerModel()
+        for key, config in all_applications().items():
+            railed = model.application_power(
+                config.name, config.specs
+            ).total_mw
+            continuous = _continuous_power(config)
+            out[key] = (railed, continuous)
+        return out
+
+    results = benchmark(run)
+    print()
+    print(f"{'Application':14s} {'rails mW':>10} {'cont. mW':>10} "
+          f"{'penalty':>8}")
+    for key, (railed, continuous) in results.items():
+        penalty = railed / continuous - 1.0
+        print(f"{key:14s} {railed:10.1f} {continuous:10.1f} "
+              f"{100 * penalty:7.1f}%")
+        # the rails never win, and the paper's sets are decent:
+        # quantization costs less than ~35% per application
+        assert railed >= continuous * 0.999
+        assert penalty < 0.35

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 10 (leakage sensitivity, SV + MPEG4).
+
+Reproduced claim: the MPEG4 12-vs-36-tile crossover sits near the
+paper's 14.8 mA/tile (8.3 nA/transistor).
+"""
+
+import pytest
+
+from repro.eval import fig10
+
+
+def test_fig10(benchmark):
+    series = benchmark(fig10.compute)
+    assert {s.label for s in series} >= {
+        "SV 17 Tiles", "MPEG4 12 Tiles", "MPEG4 36 Tiles",
+    }
+    crossing = fig10.mpeg4_crossover()
+    assert crossing["crossover_ma"] == pytest.approx(14.8, abs=7.4)
+    print()
+    print(fig10.render())

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 5 (voltage-frequency curves)."""
+
+import pytest
+
+from repro.eval import fig5
+from repro.tech.vf_curve import VoltageFrequencyCurve
+
+
+def test_fig5(benchmark):
+    data = benchmark(fig5.compute)
+    assert set(data) == {15, 20}
+    curve = VoltageFrequencyCurve.from_technology()
+    assert curve.max_frequency_mhz(1.65) == pytest.approx(600.0,
+                                                          rel=0.01)
+    print()
+    print(fig5.render())

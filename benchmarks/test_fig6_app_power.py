@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 6 (power by application, +/- scaling)."""
+
+import pytest
+
+from repro.eval import fig6
+
+
+def test_fig6(benchmark):
+    bars = benchmark(fig6.compute)
+    by_app = {bar.application: bar for bar in bars}
+    assert by_app["DDC"].scaled_mw == pytest.approx(2439.7, rel=0.01)
+    stereo = by_app["Stereo Vision"]
+    assert stereo.additional_unscaled_mw / stereo.unscaled_mw \
+        == pytest.approx(0.32, abs=0.03)
+    print()
+    print(fig6.render())

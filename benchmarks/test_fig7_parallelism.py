@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 7 (power vs parallelization).
+
+Reproduced claims: power falls with parallelization for DDC/SV/MPEG4,
+802.11a shows diminishing returns, and the dark (interconnect +
+leakage) share grows with tile count.
+"""
+
+from repro.eval import fig7
+
+
+def test_fig7(benchmark):
+    bars = benchmark(fig7.compute)
+    by_key = {(b.application, b.n_tiles): b for b in bars}
+    assert by_key[("DDC", 14)].total_mw > by_key[("DDC", 26)].total_mw \
+        > by_key[("DDC", 50)].total_mw
+    gain_36 = (by_key[("802.11a", 20)].total_mw
+               - by_key[("802.11a", 36)].total_mw)
+    assert gain_36 < 0.10 * by_key[("802.11a", 20)].total_mw
+    print()
+    print(fig7.render())

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 8 (Viterbi ACS power vs area).
+
+Reproduced claims: the paper's anchor point (16 tiles, 256-bit bus,
+540 MHz @ 1.7 V, ~3.85 W), a large win for 128->256 bits, and a small
+win at large area cost beyond 256 bits.
+"""
+
+import pytest
+
+from repro.eval import fig8
+
+
+def test_fig8(benchmark):
+    points = benchmark(fig8.compute)
+    anchor = next(
+        p for p in points if p.n_tiles == 16 and p.bus_width_bits == 256
+    )
+    assert anchor.frequency_mhz == pytest.approx(540.0, rel=1e-6)
+    assert anchor.power_mw == pytest.approx(3848.0, rel=0.01)
+    gains = fig8.knee_gain(points)
+    assert gains["128->256"] > 4.0 * max(gains["256->512"], 1.0)
+    print()
+    print(fig8.render())

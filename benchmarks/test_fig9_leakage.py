@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 9 (leakage sensitivity, DDC + 802.11a)."""
+
+from repro.eval import fig9
+
+
+def test_fig9(benchmark):
+    series = benchmark(fig9.compute)
+    by_label = {s.label: s for s in series}
+    # the 50-tile DDC line is steepest (leakage scales with tiles)
+    def slope(line):
+        return (line.power_mw[-1] - line.power_mw[0]) / (
+            line.leakage_ma[-1] - line.leakage_ma[0]
+        )
+    assert slope(by_label["DDC 50 Tiles"]) \
+        > slope(by_label["DDC 26 Tiles"]) \
+        > slope(by_label["DDC 14 Tiles"])
+    print()
+    print(fig9.render())

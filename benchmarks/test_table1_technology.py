@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 (technology parameters)."""
+
+from repro.eval import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.compute)
+    values = {name: value for name, value, _ in rows}
+    assert values["Technology"] == "130 nm"
+    assert values["Max Frequency"] == "600 MHz"
+    assert values["Tile Power"] == "0.1 mW/MHz"
+    print()
+    print(table1.render())

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 2 (area estimation)."""
+
+import pytest
+
+from repro.eval import table2
+
+
+def test_table2(benchmark):
+    data = benchmark(table2.compute)
+    assert data["tile_total_um2"] == pytest.approx(7_272_620.0)
+    assert data["tile_area_scaled_mm2"] == pytest.approx(1.97, abs=0.02)
+    print()
+    print(table2.render())

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 3 (platform power comparison).
+
+Reproduced claims: Synchroscalar power per application, chip areas,
+and the 8-30X-of-ASIC / 10-60X-better-than-DSP efficiency bands.
+"""
+
+import pytest
+
+from repro.eval import table3
+
+
+def test_table3(benchmark):
+    data = benchmark(table3.compute)
+    ddc_row = data["DDC"][0]
+    assert ddc_row.power_mw == pytest.approx(2439.7, rel=0.01)
+    assert ddc_row.area_mm2 == pytest.approx(136.3, rel=0.03)
+    assert ddc_row.nw_per_sample == pytest.approx(38.1, rel=0.01)
+    bands = table3.headline_ratios()
+    low, high = bands["asic_within"]
+    assert 5.0 < low and high < 40.0
+    print()
+    print(table3.render())

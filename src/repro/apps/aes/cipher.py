@@ -1,0 +1,164 @@
+"""AES-128 block cipher (FIPS-197), implemented from the spec.
+
+SubBytes/ShiftRows/MixColumns/AddRoundKey over a column-major 4x4
+state, with the S-box generated from the GF(2^8) inverse and affine
+map rather than pasted as a table - so the algebra itself is tested.
+"""
+
+from __future__ import annotations
+
+BLOCK_BYTES = 16
+KEY_BYTES = 16
+ROUNDS = 10
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8) modulo x^8+x^4+x^3+x+1."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def gf_multiply(a: int, b: int) -> int:
+    """Full GF(2^8) product."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inverse of 0 is 0."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gf_multiply(result, power)
+        power = gf_multiply(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple:
+    sbox = []
+    for value in range(256):
+        inverse = _gf_inverse(value)
+        b = inverse
+        result = 0
+        for bit in range(8):
+            result |= (
+                ((b >> bit) ^ (b >> ((bit + 4) % 8)) ^ (b >> ((bit + 5) % 8))
+                 ^ (b >> ((bit + 6) % 8)) ^ (b >> ((bit + 7) % 8))
+                 ^ (0x63 >> bit)) & 1
+            ) << bit
+        sbox.append(result)
+    inverse_box = [0] * 256
+    for index, value in enumerate(sbox):
+        inverse_box[value] = index
+    return tuple(sbox), tuple(inverse_box)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def expand_key(key: bytes) -> list:
+    """Expand a 16-byte key into 11 round keys of 16 bytes."""
+    if len(key) != KEY_BYTES:
+        raise ValueError("AES-128 key must be 16 bytes")
+    words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+    for round_index in range(4, 4 * (ROUNDS + 1)):
+        temp = list(words[round_index - 1])
+        if round_index % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[round_index // 4 - 1]
+        words.append(
+            [a ^ b for a, b in zip(words[round_index - 4], temp)]
+        )
+    return [
+        bytes(sum(words[4 * r:4 * r + 4], []))
+        for r in range(ROUNDS + 1)
+    ]
+
+
+def _sub_bytes(state: list) -> list:
+    return [SBOX[b] for b in state]
+
+
+def _shift_rows(state: list) -> list:
+    # state is column-major: state[4*c + r]
+    out = list(state)
+    for row in range(1, 4):
+        values = [state[4 * col + row] for col in range(4)]
+        values = values[row:] + values[:row]
+        for col in range(4):
+            out[4 * col + row] = values[col]
+    return out
+
+
+def _mix_columns(state: list) -> list:
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col:4 * col + 4]
+        out[4 * col + 0] = (gf_multiply(a[0], 2) ^ gf_multiply(a[1], 3)
+                            ^ a[2] ^ a[3])
+        out[4 * col + 1] = (a[0] ^ gf_multiply(a[1], 2)
+                            ^ gf_multiply(a[2], 3) ^ a[3])
+        out[4 * col + 2] = (a[0] ^ a[1] ^ gf_multiply(a[2], 2)
+                            ^ gf_multiply(a[3], 3))
+        out[4 * col + 3] = (gf_multiply(a[0], 3) ^ a[1] ^ a[2]
+                            ^ gf_multiply(a[3], 2))
+    return out
+
+
+def _add_round_key(state: list, round_key: bytes) -> list:
+    return [b ^ k for b, k in zip(state, round_key)]
+
+
+def encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block under a 16-byte key."""
+    if len(plaintext) != BLOCK_BYTES:
+        raise ValueError("AES block must be 16 bytes")
+    round_keys = expand_key(key)
+    state = _add_round_key(list(plaintext), round_keys[0])
+    for round_index in range(1, ROUNDS):
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _mix_columns(state)
+        state = _add_round_key(state, round_keys[round_index])
+    state = _sub_bytes(state)
+    state = _shift_rows(state)
+    state = _add_round_key(state, round_keys[ROUNDS])
+    return bytes(state)
+
+
+class Aes128:
+    """An AES-128 instance with a precomputed key schedule."""
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = expand_key(key)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt one block (keys already scheduled)."""
+        if len(plaintext) != BLOCK_BYTES:
+            raise ValueError("AES block must be 16 bytes")
+        state = _add_round_key(list(plaintext), self._round_keys[0])
+        for round_index in range(1, ROUNDS):
+            state = _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = _add_round_key(state, self._round_keys[round_index])
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _add_round_key(state, self._round_keys[ROUNDS])
+        return bytes(state)

@@ -1,0 +1,32 @@
+"""Digital Down Conversion (paper Section 3).
+
+The DDC converts a received IF signal to baseband at GSM rates (up to
+64 MS/s): a Numerically Controlled Oscillator and digital mixer,
+a Cascaded-Integrator-Comb decimator, then a two-stage programmable
+filter - a 21-tap CIC-compensating FIR (CFIR) and a 63-tap
+programmable FIR (PFIR), mirroring the Graychip GC4014 structure the
+paper compares against.
+"""
+
+from repro.apps.ddc.nco import NumericallyControlledOscillator
+from repro.apps.ddc.mixer import DigitalMixer
+from repro.apps.ddc.cic import CicDecimator, cic_gain, boxcar_reference
+from repro.apps.ddc.fir import (
+    FirDecimator,
+    design_cic_compensator,
+    design_lowpass,
+)
+from repro.apps.ddc.pipeline import DigitalDownConverter, gsm_configuration
+
+__all__ = [
+    "NumericallyControlledOscillator",
+    "DigitalMixer",
+    "CicDecimator",
+    "cic_gain",
+    "boxcar_reference",
+    "FirDecimator",
+    "design_lowpass",
+    "design_cic_compensator",
+    "DigitalDownConverter",
+    "gsm_configuration",
+]

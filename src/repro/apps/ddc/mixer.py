@@ -1,0 +1,32 @@
+"""Digital mixer: the multiply that shifts the signal to baseband.
+
+The mixer multiplies the real IF input by the NCO's complex local
+oscillator, translating the band of interest to DC.  In the paper's
+Table 4 mapping this stage runs on 8 tiles at 120 MHz / 0.8 V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.ddc.nco import NumericallyControlledOscillator
+
+
+class DigitalMixer:
+    """Complex down-mixing against an NCO."""
+
+    def __init__(self, nco: NumericallyControlledOscillator) -> None:
+        self.nco = nco
+        self.samples_processed = 0
+
+    def process(self, block: np.ndarray) -> np.ndarray:
+        """Mix one block of real (or complex) IF samples to baseband."""
+        block = np.asarray(block)
+        lo = self.nco.samples(len(block))
+        self.samples_processed += len(block)
+        return block * lo
+
+    def reset(self) -> None:
+        """Restart the oscillator phase and counters."""
+        self.nco.reset()
+        self.samples_processed = 0

@@ -1,0 +1,80 @@
+"""Numerically Controlled Oscillator.
+
+A classical phase-accumulator NCO: a 32-bit accumulator advances by a
+tuning word each sample and the top bits index a sine lookup table,
+producing the complex local-oscillator samples the digital mixer
+multiplies against.  This is the first stage of the GC4014-style DDC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PHASE_BITS = 32
+_PHASE_MODULUS = 1 << PHASE_BITS
+
+
+class NumericallyControlledOscillator:
+    """Phase-accumulator oscillator with a shared sine LUT.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Oscillator frequency (the IF being mixed down).
+    sample_rate_hz:
+        Input sample rate (64 MS/s for the GSM configuration).
+    lut_bits:
+        log2 of the sine-table depth; 10 bits (1024 entries) is the
+        classic size balancing spur level against table memory.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float,
+        sample_rate_hz: float,
+        lut_bits: int = 10,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        if not 0 <= abs(frequency_hz) < sample_rate_hz:
+            raise ValueError("|frequency| must lie below the sample rate")
+        if not 4 <= lut_bits <= 16:
+            raise ValueError("lut_bits must lie in [4, 16]")
+        self.frequency_hz = frequency_hz
+        self.sample_rate_hz = sample_rate_hz
+        self.lut_bits = lut_bits
+        self.tuning_word = int(round(
+            frequency_hz / sample_rate_hz * _PHASE_MODULUS
+        )) % _PHASE_MODULUS
+        self._phase = 0
+        depth = 1 << lut_bits
+        angles = 2.0 * np.pi * np.arange(depth) / depth
+        self._sin_lut = np.sin(angles)
+        self._cos_lut = np.cos(angles)
+
+    @property
+    def actual_frequency_hz(self) -> float:
+        """The quantized frequency the tuning word realizes."""
+        return self.tuning_word / _PHASE_MODULUS * self.sample_rate_hz
+
+    @property
+    def frequency_resolution_hz(self) -> float:
+        """Smallest representable frequency step."""
+        return self.sample_rate_hz / _PHASE_MODULUS
+
+    def reset(self, phase: int = 0) -> None:
+        """Reset the accumulator."""
+        self._phase = phase % _PHASE_MODULUS
+
+    def samples(self, count: int) -> np.ndarray:
+        """The next ``count`` complex LO samples exp(-j*2*pi*f*n)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        phases = (self._phase + self.tuning_word * np.arange(count,
+                  dtype=np.uint64)) % _PHASE_MODULUS
+        self._phase = int(
+            (self._phase + self.tuning_word * count) % _PHASE_MODULUS
+        )
+        indices = (phases >> (PHASE_BITS - self.lut_bits)).astype(np.intp)
+        # Down-conversion uses the conjugate oscillator.
+        return self._cos_lut[indices] - 1j * self._sin_lut[indices]

@@ -1,0 +1,58 @@
+"""8x8 two-dimensional DCT (type II) and its inverse.
+
+The separable orthonormal form: D = C X C^T with the standard DCT-II
+basis matrix, applied as a row pass then a column pass - the same
+decomposition a tile column executes (one pass per tile group).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+
+def dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """Orthonormal DCT-II basis matrix C (rows are basis vectors)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    k = np.arange(n).reshape(-1, 1)
+    i = np.arange(n).reshape(1, -1)
+    matrix = np.cos(np.pi * (2 * i + 1) * k / (2.0 * n))
+    matrix *= np.sqrt(2.0 / n)
+    matrix[0, :] = 1.0 / np.sqrt(n)
+    return matrix
+
+
+_C = dct_matrix(BLOCK)
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of one 8x8 block."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError(f"block must be {BLOCK}x{BLOCK}")
+    return _C @ block @ _C.T
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of one 8x8 coefficient block."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (BLOCK, BLOCK):
+        raise ValueError(f"block must be {BLOCK}x{BLOCK}")
+    return _C.T @ coefficients @ _C
+
+
+def blockwise(frame: np.ndarray, transform) -> np.ndarray:
+    """Apply an 8x8 block transform across a whole frame."""
+    frame = np.asarray(frame, dtype=np.float64)
+    height, width = frame.shape
+    if height % BLOCK or width % BLOCK:
+        raise ValueError("frame dimensions must be multiples of 8")
+    out = np.empty_like(frame)
+    for row in range(0, height, BLOCK):
+        for col in range(0, width, BLOCK):
+            out[row:row + BLOCK, col:col + BLOCK] = transform(
+                frame[row:row + BLOCK, col:col + BLOCK]
+            )
+    return out

@@ -1,0 +1,45 @@
+"""Quantization / inverse quantization (H.263-style, as MPEG-4 SP uses).
+
+Uniform mid-tread quantization with step 2*QP; intra DC coefficients
+use a fixed step of 8 to protect the block average.  The encoder's
+reconstruction loop uses exactly these functions so encoder and
+implicit decoder stay in sync.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INTRA_DC_STEP = 8.0
+
+
+def quantize(
+    coefficients: np.ndarray, qp: int, intra: bool = True
+) -> np.ndarray:
+    """Quantize one block of DCT coefficients to integer levels."""
+    if not 1 <= qp <= 31:
+        raise ValueError("qp must lie in 1..31")
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    step = 2.0 * qp
+    levels = np.round(coefficients / step).astype(np.int32)
+    if intra:
+        levels[0, 0] = int(np.round(coefficients[0, 0] / INTRA_DC_STEP))
+    return levels
+
+
+def dequantize(
+    levels: np.ndarray, qp: int, intra: bool = True
+) -> np.ndarray:
+    """Reconstruct coefficient values from quantized levels."""
+    if not 1 <= qp <= 31:
+        raise ValueError("qp must lie in 1..31")
+    levels = np.asarray(levels, dtype=np.float64)
+    out = levels * 2.0 * qp
+    if intra:
+        out[0, 0] = levels[0, 0] * INTRA_DC_STEP
+    return out
+
+
+def coded_coefficient_count(levels: np.ndarray) -> int:
+    """Nonzero levels in a block - the proxy for coded bits."""
+    return int(np.count_nonzero(levels))

@@ -1,0 +1,62 @@
+"""Simple proportional rate control over the bit estimator.
+
+With per-frame bit estimates available (``EncodedFrame.estimated_bits``)
+a rate controller closes the loop the way an embedded encoder would:
+scale QP by the ratio of spent to budgeted bits, clamped to the legal
+1..31 range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.mpeg4.encoder import FRAME_RATE_FPS, Mpeg4Encoder
+
+
+@dataclass
+class RateController:
+    """Proportional QP adaptation toward a target bit rate."""
+
+    target_kbps: float
+    fps: float = FRAME_RATE_FPS
+    qp: int = 8
+    min_qp: int = 1
+    max_qp: int = 31
+    gain: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.target_kbps <= 0 or self.fps <= 0:
+            raise ValueError("target rate and fps must be positive")
+        if not self.min_qp <= self.qp <= self.max_qp:
+            raise ValueError("initial qp outside [min_qp, max_qp]")
+
+    @property
+    def budget_bits_per_frame(self) -> float:
+        """Bits one frame may spend at the target rate."""
+        return self.target_kbps * 1000.0 / self.fps
+
+    def update(self, spent_bits: int) -> int:
+        """Adapt QP from one frame's spend; returns the next QP."""
+        if spent_bits < 0:
+            raise ValueError("spent bits must be non-negative")
+        ratio = max(spent_bits, 1.0) / self.budget_bits_per_frame
+        adjusted = self.qp * (ratio ** self.gain)
+        self.qp = int(round(
+            min(self.max_qp, max(self.min_qp, adjusted))
+        ))
+        return self.qp
+
+
+def encode_with_rate_control(
+    encoder: Mpeg4Encoder,
+    frames,
+    controller: RateController,
+) -> list:
+    """Encode a sequence while the controller steers QP per frame."""
+    results = []
+    for frame in frames:
+        encoder.qp = controller.qp
+        result = encoder.encode_frame(frame)
+        controller.update(result.estimated_bits)
+        results.append(result)
+    return results

@@ -1,0 +1,40 @@
+"""Patch extraction and normalized cross-correlation for matching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def extract_patch(
+    image: np.ndarray, row: int, col: int, radius: int = 4
+) -> np.ndarray:
+    """Square patch of side 2*radius+1 centred on (row, col).
+
+    Raises if the patch would leave the image - feature extraction
+    excludes a border wide enough to prevent this.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if not (radius <= row < image.shape[0] - radius
+            and radius <= col < image.shape[1] - radius):
+        raise ValueError(
+            f"patch at ({row}, {col}) radius {radius} leaves the image"
+        )
+    return image[row - radius:row + radius + 1,
+                 col - radius:col + radius + 1]
+
+
+def normalized_correlation(patch_a: np.ndarray, patch_b: np.ndarray) -> float:
+    """Zero-mean normalized cross-correlation in [-1, 1].
+
+    Returns 0 for textureless (zero-variance) patches.
+    """
+    a = np.asarray(patch_a, dtype=np.float64).ravel()
+    b = np.asarray(patch_b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError("patches must have identical shapes")
+    a = a - a.mean()
+    b = b - b.mean()
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm < 1e-12:
+        return 0.0
+    return float(np.dot(a, b) / norm)

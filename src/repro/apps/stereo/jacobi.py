@@ -1,0 +1,91 @@
+"""One-sided Jacobi SVD, from scratch.
+
+The paper runs the stereo correspondence SVD on a single 500 MHz tile
+(Table 4); a library SVD is not available there, and one-sided Jacobi
+is the classic embedded-friendly algorithm: repeatedly rotate pairs of
+columns until all are mutually orthogonal, then read off U, the
+singular values (column norms), and V (the accumulated rotations).
+
+:func:`amplify_jacobi` mirrors :func:`repro.apps.stereo.svd.amplify`
+(P = U V^T); since P equals the unique orthogonal polar factor of G,
+both implementations agree to numerical precision regardless of SVD
+sign/order conventions - a property the tests exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jacobi_svd(
+    matrix: np.ndarray,
+    max_sweeps: int = 60,
+    tolerance: float = 1e-12,
+) -> tuple:
+    """SVD by one-sided Jacobi rotations.
+
+    Returns ``(u, singular_values, v_transpose)`` with singular values
+    sorted descending.  Requires rows >= columns (tall or square);
+    transpose wide inputs on the caller side.
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    rows, cols = a.shape
+    if rows < cols:
+        raise ValueError(
+            "jacobi_svd needs rows >= columns; pass the transpose"
+        )
+    work = a.copy()
+    v = np.eye(cols)
+
+    for _ in range(max_sweeps):
+        rotated = False
+        for p in range(cols - 1):
+            for q in range(p + 1, cols):
+                alpha = float(work[:, p] @ work[:, p])
+                beta = float(work[:, q] @ work[:, q])
+                gamma = float(work[:, p] @ work[:, q])
+                if abs(gamma) <= tolerance * np.sqrt(alpha * beta) \
+                        or alpha * beta == 0.0:
+                    continue
+                rotated = True
+                zeta = (beta - alpha) / (2.0 * gamma)
+                t = np.sign(zeta) / (
+                    abs(zeta) + np.sqrt(1.0 + zeta * zeta)
+                )
+                c = 1.0 / np.sqrt(1.0 + t * t)
+                s = c * t
+                col_p = work[:, p].copy()
+                work[:, p] = c * col_p - s * work[:, q]
+                work[:, q] = s * col_p + c * work[:, q]
+                v_p = v[:, p].copy()
+                v[:, p] = c * v_p - s * v[:, q]
+                v[:, q] = s * v_p + c * v[:, q]
+        if not rotated:
+            break
+
+    norms = np.linalg.norm(work, axis=0)
+    order = np.argsort(norms)[::-1]
+    singular_values = norms[order]
+    u = np.zeros_like(work)
+    for out_index, col_index in enumerate(order):
+        norm = norms[col_index]
+        if norm > tolerance:
+            u[:, out_index] = work[:, col_index] / norm
+        else:
+            u[:, out_index] = 0.0
+    v_sorted = v[:, order]
+    return u, singular_values, v_sorted.T
+
+
+def amplify_jacobi(g: np.ndarray) -> np.ndarray:
+    """P = U V^T via the Jacobi SVD (cf. :func:`svd.amplify`)."""
+    g = np.asarray(g, dtype=np.float64)
+    if g.size == 0:
+        return g.copy()
+    transpose = g.shape[0] < g.shape[1]
+    work = g.T if transpose else g
+    u, _, vt = jacobi_svd(work)
+    p = u @ vt
+    return p.T if transpose else p

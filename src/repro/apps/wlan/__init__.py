@@ -1,0 +1,54 @@
+"""802.11a OFDM end-to-end application (paper Section 3).
+
+The IEEE 802.11a PHY: OFDM over 64 subcarriers (48 data + 4 pilots),
+rates 6-54 Mbps from BPSK/QPSK/16-QAM/64-QAM with a K=7 rate-1/2
+convolutional code (punctured to 2/3 and 3/4) and a two-permutation
+interleaver.  The paper maps the receiver's four major components -
+FFT, demodulation, de-interleaving, and the Viterbi decoder (ACS +
+traceback) - onto 20 tiles (Table 4).
+
+We implement both transmitter and receiver so the receiver is tested
+end-to-end over an AWGN channel at every rate.
+"""
+
+from repro.apps.wlan.fft import fft, ifft
+from repro.apps.wlan.scrambler import Scrambler, pilot_polarity
+from repro.apps.wlan.convcode import ConvolutionalEncoder, puncture, depuncture
+from repro.apps.wlan.viterbi import ViterbiDecoder
+from repro.apps.wlan.interleaver import interleave, deinterleave
+from repro.apps.wlan.modulation import Demodulator, Modulator, SoftDemodulator
+from repro.apps.wlan.frame import RateParameters, RATE_TABLE, rate_parameters
+from repro.apps.wlan.transmitter import Transmitter
+from repro.apps.wlan.receiver import Receiver
+from repro.apps.wlan.channel import (
+    awgn_channel,
+    flat_fading_channel,
+    multipath_channel,
+)
+from repro.apps.wlan.secure import SecureLink, SecureReceiveResult
+
+__all__ = [
+    "fft",
+    "ifft",
+    "Scrambler",
+    "pilot_polarity",
+    "ConvolutionalEncoder",
+    "puncture",
+    "depuncture",
+    "ViterbiDecoder",
+    "interleave",
+    "deinterleave",
+    "Modulator",
+    "Demodulator",
+    "SoftDemodulator",
+    "RateParameters",
+    "RATE_TABLE",
+    "rate_parameters",
+    "Transmitter",
+    "Receiver",
+    "awgn_channel",
+    "flat_fading_channel",
+    "multipath_channel",
+    "SecureLink",
+    "SecureReceiveResult",
+]

@@ -1,0 +1,67 @@
+"""Channel models for end-to-end 802.11a testing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def awgn_channel(
+    samples: np.ndarray,
+    snr_db: float,
+    seed: int | None = None,
+    signal_power: float | None = None,
+) -> np.ndarray:
+    """Add complex white Gaussian noise at the given SNR.
+
+    ``signal_power`` defaults to the measured mean power of the input.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    rng = np.random.default_rng(seed)
+    if signal_power is None:
+        signal_power = float(np.mean(np.abs(samples) ** 2))
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    scale = np.sqrt(noise_power / 2.0)
+    noise = scale * (
+        rng.standard_normal(len(samples))
+        + 1j * rng.standard_normal(len(samples))
+    )
+    return samples + noise
+
+
+def multipath_channel(
+    samples: np.ndarray,
+    taps: np.ndarray,
+    snr_db: float | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """A static frequency-selective channel (FIR taps) plus AWGN.
+
+    Tap delays must stay within the 16-sample cyclic prefix for the
+    OFDM receiver's per-subcarrier equalizer to hold.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    taps = np.asarray(taps, dtype=np.complex128)
+    if taps.ndim != 1 or len(taps) == 0:
+        raise ValueError("taps must be a non-empty 1-D array")
+    if len(taps) > 16:
+        raise ValueError("delay spread exceeds the cyclic prefix")
+    faded = np.convolve(samples, taps)[:len(samples)]
+    if snr_db is None:
+        return faded
+    return awgn_channel(faded, snr_db, seed=seed)
+
+
+def flat_fading_channel(
+    samples: np.ndarray,
+    gain: complex = 1.0,
+    snr_db: float | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """A single-tap complex gain, optionally followed by AWGN.
+
+    Exercises the receiver's one-tap equalizer.
+    """
+    samples = np.asarray(samples, dtype=np.complex128) * gain
+    if snr_db is None:
+        return samples
+    return awgn_channel(samples, snr_db, seed=seed)

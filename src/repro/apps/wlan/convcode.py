@@ -1,0 +1,107 @@
+"""K=7 convolutional code and 802.11a puncturing (clause 17.3.5.5).
+
+The industry-standard rate-1/2 code with generators g0 = 133 and
+g1 = 171 (octal).  Higher rates puncture the mother code: rate 2/3
+drops every second g1 output, rate 3/4 drops one bit of each stream
+per three information bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+G0 = 0o133
+G1 = 0o171
+CONSTRAINT_LENGTH = 7
+
+#: Puncturing masks over the interleaved (A0 B0 A1 B1 ...) stream,
+#: per Figure 144/145 of the standard: 1 = transmit, 0 = drop.
+PUNCTURE_PATTERNS = {
+    "1/2": (1, 1),
+    "2/3": (1, 1, 1, 0),
+    "3/4": (1, 1, 1, 0, 0, 1),
+}
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+class ConvolutionalEncoder:
+    """Terminated rate-1/2 encoder (six tail zeros flush the state)."""
+
+    def __init__(self, g0: int = G0, g1: int = G1,
+                 constraint: int = CONSTRAINT_LENGTH) -> None:
+        if constraint < 2:
+            raise ConfigurationError("constraint length must be >= 2")
+        self.g0 = g0
+        self.g1 = g1
+        self.constraint = constraint
+
+    @property
+    def tail_bits(self) -> int:
+        """Zero bits appended to return the trellis to state 0."""
+        return self.constraint - 1
+
+    def encode(self, bits: np.ndarray, terminate: bool = True) -> np.ndarray:
+        """Encode to the interleaved A/B output stream (2 bits per input)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if terminate:
+            bits = np.concatenate(
+                [bits, np.zeros(self.tail_bits, dtype=np.uint8)]
+            )
+        state = 0
+        out = np.empty(2 * len(bits), dtype=np.uint8)
+        for index, bit in enumerate(bits):
+            state = ((state << 1) | int(bit)) & ((1 << self.constraint) - 1)
+            out[2 * index] = _parity(state & self.g0)
+            out[2 * index + 1] = _parity(state & self.g1)
+        return out
+
+
+def puncture(coded: np.ndarray, rate: str) -> np.ndarray:
+    """Drop mother-code bits per the rate's puncturing pattern."""
+    if rate not in PUNCTURE_PATTERNS:
+        raise ConfigurationError(f"unknown coding rate {rate!r}")
+    pattern = np.array(PUNCTURE_PATTERNS[rate], dtype=bool)
+    coded = np.asarray(coded, dtype=np.uint8)
+    mask = np.resize(pattern, len(coded))
+    return coded[mask]
+
+
+def depuncture(received: np.ndarray, rate: str,
+               erasure: float = 0.5) -> np.ndarray:
+    """Re-insert erasures where the transmitter punctured.
+
+    ``received`` may be hard bits or soft values in [0, 1]; erasures
+    get the neutral value 0.5 so the Viterbi metric ignores them.
+    """
+    if rate not in PUNCTURE_PATTERNS:
+        raise ConfigurationError(f"unknown coding rate {rate!r}")
+    pattern = np.array(PUNCTURE_PATTERNS[rate], dtype=bool)
+    received = np.asarray(received, dtype=np.float64)
+    kept_per_period = int(pattern.sum())
+    periods, remainder_kept = divmod(len(received), kept_per_period)
+
+    # Whole periods expand vectorized; a partial tail (possible only
+    # for non-symbol-aligned streams) is walked slot by slot, then the
+    # result is padded with erasures to whole code pairs.
+    out = np.full(periods * len(pattern), erasure, dtype=np.float64)
+    mask = np.resize(pattern, len(out))
+    out[mask] = received[:periods * kept_per_period]
+    tail: list = []
+    taken = periods * kept_per_period
+    slot = 0
+    while taken < len(received):
+        if pattern[slot % len(pattern)]:
+            tail.append(received[taken])
+            taken += 1
+        else:
+            tail.append(erasure)
+        slot += 1
+    full = np.concatenate([out, np.array(tail, dtype=np.float64)])
+    if len(full) % 2:
+        full = np.concatenate([full, [erasure]])
+    return full

@@ -1,0 +1,64 @@
+"""Radix-2 FFT, written out the way the hardware computes it.
+
+The 802.11a receiver's first major component is a 64-point FFT
+(2 tiles @ 90 MHz in Table 4).  We implement the iterative
+decimation-in-time radix-2 algorithm - bit-reversal permutation then
+log2(n) butterfly stages - rather than calling a library, so the
+butterfly structure the tiles execute is explicit and testable
+against numpy's reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Bit-reversal permutation of 0..n-1 (n a power of two)."""
+    if n < 1 or n & (n - 1):
+        raise ValueError("n must be a positive power of two")
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.intp)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+def fft(samples: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 DIT FFT."""
+    data = np.asarray(samples, dtype=np.complex128)
+    if data.ndim != 1:
+        raise ValueError("fft expects a 1-D array")
+    n = len(data)
+    if n == 0 or n & (n - 1):
+        raise ValueError("length must be a power of two")
+    output = data[bit_reverse_indices(n)].copy()
+    size = 2
+    while size <= n:
+        half = size // 2
+        twiddles = np.exp(-2j * np.pi * np.arange(half) / size)
+        for start in range(0, n, size):
+            top = output[start:start + half].copy()
+            bottom = output[start + half:start + size] * twiddles
+            output[start:start + half] = top + bottom
+            output[start + half:start + size] = top - bottom
+        size *= 2
+    return output
+
+
+def ifft(spectrum: np.ndarray) -> np.ndarray:
+    """Inverse FFT via conjugation: ifft(x) = conj(fft(conj(x))) / n."""
+    data = np.asarray(spectrum, dtype=np.complex128)
+    return np.conj(fft(np.conj(data))) / len(data)
+
+
+def butterfly_count(n: int) -> int:
+    """Complex butterflies in an n-point radix-2 FFT: (n/2) log2 n.
+
+    Used by the workload profiles to derive the FFT component's cycle
+    cost per OFDM symbol.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError("n must be a power of two >= 2")
+    return (n // 2) * (n.bit_length() - 1)

@@ -1,0 +1,155 @@
+"""802.11a OFDM framing: rate table and symbol assembly (clause 17.3).
+
+64 subcarriers at 20 MHz: 48 carry data, 4 carry pilots (at -21, -7,
+7, 21), the rest (DC and the band edges) are null.  Each symbol gets
+a 16-sample cyclic prefix (80 samples per symbol, 4 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.apps.wlan.fft import fft, ifft
+from repro.apps.wlan.scrambler import pilot_polarity
+
+N_FFT = 64
+N_DATA_SUBCARRIERS = 48
+CYCLIC_PREFIX = 16
+SYMBOL_SAMPLES = N_FFT + CYCLIC_PREFIX
+PILOT_SUBCARRIERS = (-21, -7, 7, 21)
+#: Base pilot values before the polarity sequence is applied.
+PILOT_VALUES = (1.0, 1.0, 1.0, -1.0)
+
+#: Occupied data subcarrier indices: -26..26 minus DC and pilots.
+DATA_SUBCARRIERS = tuple(
+    k for k in range(-26, 27)
+    if k != 0 and k not in PILOT_SUBCARRIERS
+)
+
+#: Long training sequence L_{-26..26} (clause 17.3.3), DC excluded.
+_LTS_VALUES = (
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+    -1, 1, -1, 1, 1, 1, 1,          # k = -26..-1
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1,
+    -1, 1, -1, 1, -1, 1, 1, 1, 1,   # k = +1..+26
+)
+LONG_TRAINING_SEQUENCE = dict(zip(
+    [k for k in range(-26, 27) if k != 0], _LTS_VALUES
+))
+LONG_PREAMBLE_SAMPLES = 160  # 32-sample GI2 + two 64-sample symbols
+
+
+@dataclass(frozen=True)
+class RateParameters:
+    """One row of the standard's rate-dependent parameters table."""
+
+    rate_mbps: int
+    modulation: str
+    coding_rate: str
+    n_bpsc: int   # coded bits per subcarrier
+    n_cbps: int   # coded bits per OFDM symbol
+    n_dbps: int   # data bits per OFDM symbol
+
+
+RATE_TABLE = {
+    6: RateParameters(6, "BPSK", "1/2", 1, 48, 24),
+    9: RateParameters(9, "BPSK", "3/4", 1, 48, 36),
+    12: RateParameters(12, "QPSK", "1/2", 2, 96, 48),
+    18: RateParameters(18, "QPSK", "3/4", 2, 96, 72),
+    24: RateParameters(24, "16-QAM", "1/2", 4, 192, 96),
+    36: RateParameters(36, "16-QAM", "3/4", 4, 192, 144),
+    48: RateParameters(48, "64-QAM", "2/3", 6, 288, 192),
+    54: RateParameters(54, "64-QAM", "3/4", 6, 288, 216),
+}
+
+
+def rate_parameters(rate_mbps: int) -> RateParameters:
+    """Look up a standard data rate."""
+    try:
+        return RATE_TABLE[rate_mbps]
+    except KeyError:
+        raise ConfigurationError(
+            f"unsupported 802.11a rate {rate_mbps} Mbps; valid: "
+            f"{sorted(RATE_TABLE)}"
+        ) from None
+
+
+def _subcarrier_slot(k: int) -> int:
+    """FFT bin of logical subcarrier k (negative wrap to the top)."""
+    return k % N_FFT
+
+
+def assemble_symbol(
+    data_symbols: np.ndarray, symbol_index: int
+) -> np.ndarray:
+    """One time-domain OFDM symbol (with CP) from 48 data points."""
+    data_symbols = np.asarray(data_symbols, dtype=np.complex128)
+    if len(data_symbols) != N_DATA_SUBCARRIERS:
+        raise ConfigurationError(
+            f"expected {N_DATA_SUBCARRIERS} data symbols, "
+            f"got {len(data_symbols)}"
+        )
+    spectrum = np.zeros(N_FFT, dtype=np.complex128)
+    for value, k in zip(data_symbols, DATA_SUBCARRIERS):
+        spectrum[_subcarrier_slot(k)] = value
+    polarity = pilot_polarity(symbol_index + 1)[-1]
+    for value, k in zip(PILOT_VALUES, PILOT_SUBCARRIERS):
+        spectrum[_subcarrier_slot(k)] = value * polarity
+    time_domain = ifft(spectrum) * np.sqrt(N_FFT)
+    return np.concatenate(
+        [time_domain[-CYCLIC_PREFIX:], time_domain]
+    )
+
+
+def long_preamble() -> np.ndarray:
+    """The 160-sample long training preamble (two LTS + 32-sample GI)."""
+    spectrum = np.zeros(N_FFT, dtype=np.complex128)
+    for k, value in LONG_TRAINING_SEQUENCE.items():
+        spectrum[_subcarrier_slot(k)] = value
+    symbol = ifft(spectrum) * np.sqrt(N_FFT)
+    return np.concatenate([symbol[-32:], symbol, symbol])
+
+
+def estimate_channel(preamble_samples: np.ndarray) -> dict:
+    """Per-subcarrier channel estimate from a received long preamble.
+
+    Averages the two training symbols and divides by the known LTS,
+    returning {subcarrier k: H(k)} over all occupied subcarriers.
+    """
+    preamble_samples = np.asarray(preamble_samples,
+                                  dtype=np.complex128)
+    if len(preamble_samples) != LONG_PREAMBLE_SAMPLES:
+        raise ConfigurationError(
+            f"long preamble must be {LONG_PREAMBLE_SAMPLES} samples"
+        )
+    first = fft(preamble_samples[32:96]) / np.sqrt(N_FFT)
+    second = fft(preamble_samples[96:160]) / np.sqrt(N_FFT)
+    averaged = (first + second) / 2.0
+    return {
+        k: averaged[_subcarrier_slot(k)] / value
+        for k, value in LONG_TRAINING_SEQUENCE.items()
+    }
+
+
+def disassemble_symbol(
+    samples: np.ndarray, symbol_index: int
+) -> tuple:
+    """(48 data points, 4 pilot points) from one received symbol."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    if len(samples) != SYMBOL_SAMPLES:
+        raise ConfigurationError(
+            f"expected {SYMBOL_SAMPLES} samples, got {len(samples)}"
+        )
+    spectrum = fft(samples[CYCLIC_PREFIX:]) / np.sqrt(N_FFT)
+    data = np.array(
+        [spectrum[_subcarrier_slot(k)] for k in DATA_SUBCARRIERS]
+    )
+    polarity = pilot_polarity(symbol_index + 1)[-1]
+    pilots = np.array(
+        [spectrum[_subcarrier_slot(k)] * value * polarity
+         for value, k in zip(PILOT_VALUES, PILOT_SUBCARRIERS)]
+    )
+    return data, pilots

@@ -1,0 +1,67 @@
+"""802.11a block interleaver (clause 17.3.5.6).
+
+Two permutations over each OFDM symbol's N_CBPS coded bits: the first
+spreads adjacent coded bits onto non-adjacent subcarriers,
+
+    i = (N_CBPS / 16) * (k mod 16) + floor(k / 16)
+
+and the second rotates bits within a subcarrier's constellation
+position so long runs of low-reliability LSBs are avoided,
+
+    j = s * floor(i / s) + (i + N_CBPS - floor(16 i / N_CBPS)) mod s
+
+with s = max(N_BPSC / 2, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _permutations(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Composite k -> j mapping for one symbol."""
+    if n_cbps % 16:
+        raise ConfigurationError("N_CBPS must be divisible by 16")
+    if n_bpsc < 1:
+        raise ConfigurationError("N_BPSC must be positive")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
+    return j
+
+
+def interleave(bits: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Interleave one or more symbols' worth of coded bits."""
+    bits = np.asarray(bits)
+    if len(bits) % n_cbps:
+        raise ConfigurationError(
+            f"bit count {len(bits)} is not a whole number of "
+            f"{n_cbps}-bit symbols"
+        )
+    mapping = _permutations(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, len(bits), n_cbps):
+        symbol = bits[start:start + n_cbps]
+        interleaved = np.empty_like(symbol)
+        interleaved[mapping] = symbol
+        out[start:start + n_cbps] = interleaved
+    return out
+
+
+def deinterleave(bits: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Invert :func:`interleave`."""
+    bits = np.asarray(bits)
+    if len(bits) % n_cbps:
+        raise ConfigurationError(
+            f"bit count {len(bits)} is not a whole number of "
+            f"{n_cbps}-bit symbols"
+        )
+    mapping = _permutations(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, len(bits), n_cbps):
+        symbol = bits[start:start + n_cbps]
+        out[start:start + n_cbps] = symbol[mapping]
+    return out

@@ -1,0 +1,51 @@
+"""802.11a scrambler: the x^7 + x^4 + 1 LFSR (clause 17.3.5.4).
+
+Scrambling and descrambling are the same XOR operation; the pilot
+polarity sequence p_n of clause 17.3.5.9 is this generator run from
+the all-ones state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Scrambler:
+    """Self-synchronizing frame-synchronous scrambler."""
+
+    def __init__(self, seed: int = 0b1011101) -> None:
+        if not 1 <= seed <= 0x7F:
+            raise ValueError("seed must be a non-zero 7-bit value")
+        self._state = seed
+        self._seed = seed
+
+    def reset(self, seed: int | None = None) -> None:
+        """Return to the initial (or a new) seed."""
+        if seed is not None:
+            if not 1 <= seed <= 0x7F:
+                raise ValueError("seed must be a non-zero 7-bit value")
+            self._seed = seed
+        self._state = self._seed
+
+    def sequence(self, count: int) -> np.ndarray:
+        """The next ``count`` pseudo-random bits."""
+        out = np.empty(count, dtype=np.uint8)
+        state = self._state
+        for index in range(count):
+            bit = ((state >> 6) ^ (state >> 3)) & 1
+            state = ((state << 1) | bit) & 0x7F
+            out[index] = bit
+        self._state = state
+        return out
+
+    def process(self, bits: np.ndarray) -> np.ndarray:
+        """XOR the data with the scrambling sequence."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        return bits ^ self.sequence(len(bits))
+
+
+def pilot_polarity(count: int) -> np.ndarray:
+    """Pilot polarity p_0..p_{count-1} as +/-1 (clause 17.3.5.9)."""
+    generator = Scrambler(seed=0x7F)
+    bits = generator.sequence(count)
+    return 1 - 2 * bits.astype(np.int8)

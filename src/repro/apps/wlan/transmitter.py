@@ -1,0 +1,83 @@
+"""802.11a transmitter: the reference signal source for RX testing.
+
+DATA-field processing per clause 17.3.5: scramble, convolutionally
+encode (terminated), puncture to the coding rate, interleave per
+symbol, map to subcarriers, and assemble OFDM symbols.  (The PLCP
+preamble and SIGNAL field are acquisition aids outside the paper's
+four receiver components and are omitted; the receiver is given the
+rate and symbol timing, as the paper's mapping also assumes.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.apps.wlan.convcode import ConvolutionalEncoder, puncture
+from repro.apps.wlan.frame import (
+    N_DATA_SUBCARRIERS,
+    assemble_symbol,
+    long_preamble,
+    rate_parameters,
+)
+from repro.apps.wlan.interleaver import interleave
+from repro.apps.wlan.modulation import Modulator
+from repro.apps.wlan.scrambler import Scrambler
+
+
+class Transmitter:
+    """Bits in, 20 MS/s complex baseband out."""
+
+    def __init__(self, rate_mbps: int = 54,
+                 scrambler_seed: int = 0b1011101) -> None:
+        self.parameters = rate_parameters(rate_mbps)
+        self.scrambler_seed = scrambler_seed
+        self._encoder = ConvolutionalEncoder()
+        self._modulator = Modulator(self.parameters.n_bpsc)
+
+    def pad_length(self, n_bits: int) -> int:
+        """Padded DATA length: whole symbols including the code tail."""
+        n_dbps = self.parameters.n_dbps
+        with_tail = n_bits + self._encoder.tail_bits
+        symbols = -(-with_tail // n_dbps)
+        return symbols * n_dbps - self._encoder.tail_bits
+
+    def transmit(self, bits: np.ndarray,
+                 include_preamble: bool = False) -> np.ndarray:
+        """Modulate a payload; returns the time-domain sample stream.
+
+        ``include_preamble`` prepends the 160-sample long training
+        preamble so the receiver can estimate a frequency-selective
+        channel per subcarrier.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ConfigurationError("payload must be a 1-D bit array")
+        padded = np.zeros(self.pad_length(len(bits)), dtype=np.uint8)
+        padded[:len(bits)] = bits
+
+        scrambler = Scrambler(self.scrambler_seed)
+        scrambled = scrambler.process(padded)
+        # The standard resets the six scrambled tail positions to zero
+        # so the decoder's trellis terminates; our encoder appends
+        # explicit zero tail bits instead (equivalent trellis).
+        coded = self._encoder.encode(scrambled, terminate=True)
+        punctured = puncture(coded, self.parameters.coding_rate)
+
+        n_cbps = self.parameters.n_cbps
+        if len(punctured) % n_cbps:
+            raise ConfigurationError(
+                "internal error: punctured stream not symbol-aligned"
+            )
+        interleaved = interleave(punctured, n_cbps, self.parameters.n_bpsc)
+        points = self._modulator.map_bits(interleaved)
+        symbols = []
+        if include_preamble:
+            symbols.append(long_preamble())
+        per_symbol = N_DATA_SUBCARRIERS
+        for index in range(0, len(points), per_symbol):
+            symbols.append(
+                assemble_symbol(points[index:index + per_symbol],
+                                index // per_symbol)
+            )
+        return np.concatenate(symbols)

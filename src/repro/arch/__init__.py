@@ -1,0 +1,38 @@
+"""The Synchroscalar machine model (paper Section 2).
+
+Columns of four Blackfin-like tiles share a SIMD controller (one
+instruction stream per column), a Data Orchestration Unit driving the
+segment switches of a 256-bit vertical bus, and a statically assigned
+clock divider and supply voltage.  A single horizontal bus links the
+columns; Zero-Overhead Rate-Matching counters insert nops to match
+rationally related column rates.
+"""
+
+from repro.arch.buffers import CommBuffer
+from repro.arch.bus import SegmentedBus
+from repro.arch.chip import Chip, Column, PORT_POSITION
+from repro.arch.clocking import ClockTree
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.arch.dou import Dou, DouCycle, DouProgram, DouState, linear_schedule
+from repro.arch.rate_match import ZormCounter
+from repro.arch.simd import SimdController
+from repro.arch.tile import Tile
+
+__all__ = [
+    "CommBuffer",
+    "SegmentedBus",
+    "Chip",
+    "Column",
+    "PORT_POSITION",
+    "ClockTree",
+    "ChipConfig",
+    "ColumnConfig",
+    "Dou",
+    "DouCycle",
+    "DouProgram",
+    "DouState",
+    "linear_schedule",
+    "ZormCounter",
+    "SimdController",
+    "Tile",
+]

@@ -1,0 +1,96 @@
+"""Build chip configurations from mapped applications.
+
+Closes the loop of the Section 4.1 methodology: an
+:class:`~repro.sdf.mapping.MappedApplication` (components with derived
+frequencies and voltages) becomes a concrete
+:class:`~repro.arch.config.ChipConfig` - reference PLL rate, one clock
+divider per column, per-column supply, and the Zero-Overhead
+Rate-Matching settings that absorb the divider residue.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+
+
+@dataclass(frozen=True)
+class ChipPlan:
+    """A chip configuration plus the component-to-column map."""
+
+    config: ChipConfig
+    column_map: dict          # component name -> tuple of column indices
+    reference_mhz: float
+
+    @property
+    def n_columns(self) -> int:
+        """Columns instantiated."""
+        return self.config.n_columns
+
+    def columns_of(self, component: str) -> tuple:
+        """Column indices hosting one component."""
+        try:
+            return self.column_map[component]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown component {component!r}"
+            ) from None
+
+
+def build_chip_plan(
+    app,
+    reference_mhz: float | None = None,
+    tech: TechnologyParameters = PAPER_TECHNOLOGY,
+    strict_schedules: bool = True,
+) -> ChipPlan:
+    """Instantiate columns for every component of a mapped application.
+
+    Each component receives ``ceil(tiles / 4)`` whole columns at the
+    divider and ZORM setting its operating point implies; idle tiles
+    within a partially used column are supply-gated by construction
+    (Section 2.2).
+
+    Voltages are re-derived from the **actual** divided clock rather
+    than copied from the mapping: an integer divider can only
+    approximate the mapped frequency from above, and the supply must
+    sustain the clock the column really sees.  (Table 4's frequency
+    sets are not all exactly realizable from one integer-divided
+    reference - a gap the paper does not discuss; see
+    ``repro.workloads.realization`` for the cost analysis.)
+    """
+    reference = reference_mhz or app.max_frequency_mhz
+    plan = app.clock_dividers(reference)
+    columns = []
+    column_map: dict = {}
+    for component in app.components:
+        divider, _actual, zorm = plan[component.name]
+        n_columns = math.ceil(
+            component.n_tiles / tech.tiles_per_column
+        )
+        first = len(columns)
+        for _ in range(n_columns):
+            columns.append(ColumnConfig(
+                divider=divider,
+                voltage_v=None,  # derived from the divided clock
+                zorm=zorm,
+            ))
+        column_map[component.name] = tuple(
+            range(first, first + n_columns)
+        )
+    config = ChipConfig(
+        reference_mhz=reference,
+        columns=tuple(columns),
+        strict_schedules=strict_schedules,
+        tech=tech,
+    )
+    # Fail fast if any assigned rail cannot carry its divided clock.
+    config.resolve_voltages()
+    return ChipPlan(
+        config=config,
+        column_map=column_map,
+        reference_mhz=reference,
+    )

@@ -1,0 +1,55 @@
+"""Clock generation (paper Sections 2 and 2.4, Figure 1).
+
+A single PLL produces the reference (maximum) clock - also the bus and
+DOU clock - and each column derives its own rate through an integer
+clock divider configured at startup.  Restricting columns to divided
+copies of one reference keeps all inter-column frequency ratios
+rational, which is what lets Synchroscalar avoid the asynchronous
+FIFOs of GALS designs (Section 6: "similar to Numesh, rather than the
+GALS approach").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+class ClockTree:
+    """Reference PLL plus per-column integer dividers."""
+
+    def __init__(self, reference_mhz: float, dividers: Sequence[int]) -> None:
+        if reference_mhz <= 0:
+            raise ConfigurationError("reference frequency must be positive")
+        if not dividers:
+            raise ConfigurationError("at least one clock domain is required")
+        for divider in dividers:
+            if not isinstance(divider, int) or divider < 1:
+                raise ConfigurationError(
+                    f"divider {divider!r} must be a positive integer"
+                )
+        self.reference_mhz = float(reference_mhz)
+        self.dividers = tuple(dividers)
+
+    def frequency_mhz(self, column: int) -> float:
+        """Clock rate of one column."""
+        return self.reference_mhz / self.dividers[column]
+
+    def ticks(self, column: int, reference_tick: int) -> bool:
+        """Whether ``column`` has a clock edge at this reference tick."""
+        return reference_tick % self.dividers[column] == 0
+
+    def hyperperiod(self) -> int:
+        """Reference ticks after which all column phases realign."""
+        period = 1
+        for divider in self.dividers:
+            period = math.lcm(period, divider)
+        return period
+
+    def ratio(self, a: int, b: int) -> tuple:
+        """Reduced rational frequency ratio f_a : f_b."""
+        numerator, denominator = self.dividers[b], self.dividers[a]
+        g = math.gcd(numerator, denominator)
+        return (numerator // g, denominator // g)

@@ -1,0 +1,103 @@
+"""Chip and column configuration records.
+
+Frequencies and voltages are statically assigned at startup
+(Section 2: columns "are configured at startup"); this module carries
+that static configuration and validates it against the technology's
+voltage-frequency curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+from repro.tech.vf_curve import VoltageFrequencyCurve
+
+
+@dataclass(frozen=True)
+class ColumnConfig:
+    """Static per-column settings.
+
+    ``divider`` relates the column clock to the reference clock;
+    ``voltage_v`` is the column supply (None = derive the minimum rail
+    for the divided frequency); ``zorm`` is an optional
+    (interval, nops) rate-matching setting; ``powered`` is False for
+    columns of idle tiles, which are supply-gated (Section 2.2).
+    """
+
+    divider: int = 1
+    voltage_v: float | None = None
+    zorm: tuple = (0, 0)
+    powered: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.divider, int) or self.divider < 1:
+            raise ConfigurationError("divider must be a positive integer")
+        if self.voltage_v is not None and self.voltage_v <= 0:
+            raise ConfigurationError("voltage must be positive")
+        if len(self.zorm) != 2 or any(v < 0 for v in self.zorm):
+            raise ConfigurationError("zorm must be (interval, nops) >= 0")
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Static whole-chip settings."""
+
+    reference_mhz: float
+    columns: tuple
+    tiles_per_column: int = PAPER_TECHNOLOGY.tiles_per_column
+    bus_splits: int = PAPER_TECHNOLOGY.bus_splits
+    memory_words: int = 8192
+    buffer_capacity: int = 8
+    port_capacity: int = 64
+    strict_schedules: bool = True
+    tech: TechnologyParameters = field(default=PAPER_TECHNOLOGY)
+
+    def __post_init__(self) -> None:
+        if self.reference_mhz <= 0:
+            raise ConfigurationError("reference frequency must be positive")
+        if not self.columns:
+            raise ConfigurationError("a chip needs at least one column")
+        for column in self.columns:
+            if not isinstance(column, ColumnConfig):
+                raise ConfigurationError(
+                    "columns must be ColumnConfig instances"
+                )
+        if self.tiles_per_column < 1:
+            raise ConfigurationError("tiles_per_column must be positive")
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns on the chip."""
+        return len(self.columns)
+
+    def column_frequency_mhz(self, index: int) -> float:
+        """Divided clock rate of one column."""
+        return self.reference_mhz / self.columns[index].divider
+
+    def resolve_voltages(
+        self, curve: VoltageFrequencyCurve | None = None
+    ) -> tuple:
+        """Supply voltage per column, deriving unset ones from the curve.
+
+        Raises if an explicitly configured voltage cannot support the
+        column's frequency.
+        """
+        curve = curve or VoltageFrequencyCurve.from_technology(self.tech)
+        voltages = []
+        for index, column in enumerate(self.columns):
+            frequency = self.column_frequency_mhz(index)
+            if column.voltage_v is None:
+                voltages.append(
+                    curve.quantize_voltage(frequency,
+                                           self.tech.voltage_rails)
+                )
+                continue
+            if curve.max_frequency_mhz(column.voltage_v) < frequency:
+                raise ConfigurationError(
+                    f"column {index}: {column.voltage_v} V cannot "
+                    f"sustain {frequency:.0f} MHz"
+                )
+            voltages.append(column.voltage_v)
+        return tuple(voltages)

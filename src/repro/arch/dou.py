@@ -1,0 +1,279 @@
+"""Data Orchestration Unit (paper Section 2.3, Figures 3 and 4).
+
+The DOU is a decoupled communication controller: a state machine of up
+to 128 states whose outputs drive the bus segment switches (SEG
+fields) and the tile communication buffers (Buffer fields).  Each
+state names one of four 32-bit down-counters (CNTR field): when the
+counter is zero the machine resets it and follows NXTSTATE0, otherwise
+it decrements and follows NXTSTATE1 - giving four nested zero-overhead
+communication loops.
+
+The DOU runs at the bus (maximum) frequency and provides
+register-to-register transfers with zero instruction overhead in the
+tiles: producers SEND into their write buffer, the DOU moves words at
+statically scheduled cycles, consumers RECV from their read buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+
+MAX_STATES = 128
+MAX_COUNTERS = 4
+
+
+@dataclass(frozen=True)
+class DouState:
+    """One DOU state (one row of Figure 3).
+
+    Attributes
+    ----------
+    closed:
+        (split, boundary) segment switches closed while in this state.
+    drives:
+        (position, split) pairs whose write buffer drives the split.
+    captures:
+        (position, split) pairs whose read buffer latches the split.
+    counter:
+        Down-counter index tested in this state, or ``None`` for an
+        unconditional transition via ``next_otherwise``.
+    next_if_zero / next_otherwise:
+        NXTSTATE0 / NXTSTATE1 of Figure 3.
+    """
+
+    closed: frozenset = frozenset()
+    drives: tuple = ()
+    captures: tuple = ()
+    counter: int | None = None
+    next_if_zero: int = 0
+    next_otherwise: int = 0
+
+
+@dataclass(frozen=True)
+class DouProgram:
+    """A full DOU configuration: states plus counter initial values."""
+
+    states: tuple
+    counter_initial: tuple = ()
+    name: str = "dou"
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ConfigurationError(f"{self.name}: empty DOU program")
+        if len(self.states) > MAX_STATES:
+            raise ConfigurationError(
+                f"{self.name}: {len(self.states)} states exceed the "
+                f"{MAX_STATES}-state DOU"
+            )
+        if len(self.counter_initial) > MAX_COUNTERS:
+            raise ConfigurationError(
+                f"{self.name}: more than {MAX_COUNTERS} counters"
+            )
+        for index, state in enumerate(self.states):
+            for nxt in (state.next_if_zero, state.next_otherwise):
+                if not 0 <= nxt < len(self.states):
+                    raise ConfigurationError(
+                        f"{self.name}: state {index} links to missing "
+                        f"state {nxt}"
+                    )
+            if state.counter is not None:
+                if not 0 <= state.counter < len(self.counter_initial):
+                    raise ConfigurationError(
+                        f"{self.name}: state {index} tests missing "
+                        f"counter {state.counter}"
+                    )
+            if state.drives and not state.captures:
+                raise ConfigurationError(
+                    f"{self.name}: state {index} drives the bus with no "
+                    f"capture - the word could never retire"
+                )
+
+    @classmethod
+    def idle(cls) -> "DouProgram":
+        """A DOU that never moves data (compute-only columns)."""
+        return cls(states=(DouState(),), name="idle")
+
+
+@dataclass(frozen=True)
+class DouCycle:
+    """One cycle of a linear communication schedule (builder input)."""
+
+    closed: frozenset = frozenset()
+    drives: tuple = ()
+    captures: tuple = ()
+
+
+def linear_schedule(
+    cycles: list,
+    repeat: int | None = None,
+    name: str = "dou",
+) -> DouProgram:
+    """Compile a per-cycle transfer list into a DOU program.
+
+    ``repeat=None`` loops the schedule forever (the steady-state form
+    used for streaming kernels); ``repeat=k`` runs it k times using
+    down-counter 0 and then parks in an idle state, mirroring the
+    Figure 4 loop-encoding example.
+    """
+    if not cycles:
+        raise ConfigurationError("linear_schedule needs at least one cycle")
+    states = []
+    last = len(cycles) - 1
+    for index, cycle in enumerate(cycles):
+        if index < last:
+            states.append(DouState(
+                closed=cycle.closed, drives=tuple(cycle.drives),
+                captures=tuple(cycle.captures),
+                next_otherwise=index + 1,
+            ))
+            continue
+        if repeat is None:
+            states.append(DouState(
+                closed=cycle.closed, drives=tuple(cycle.drives),
+                captures=tuple(cycle.captures),
+                next_otherwise=0,
+            ))
+        else:
+            idle_index = len(cycles)
+            states.append(DouState(
+                closed=cycle.closed, drives=tuple(cycle.drives),
+                captures=tuple(cycle.captures),
+                counter=0, next_if_zero=idle_index, next_otherwise=0,
+            ))
+    counters: tuple = ()
+    if repeat is not None:
+        if repeat < 1:
+            raise ConfigurationError("repeat must be at least 1")
+        states.append(DouState(next_otherwise=len(cycles)))  # idle park
+        counters = (repeat - 1,)
+    return DouProgram(states=tuple(states), counter_initial=counters,
+                      name=name)
+
+
+class Dou:
+    """Executes a :class:`DouProgram` against a bus and buffer ports.
+
+    ``write_ports``/``read_ports`` map a bus position to the
+    :class:`~repro.arch.buffers.CommBuffer` that drives or captures at
+    that position (tiles 0..3 plus the column's horizontal port).
+
+    ``strict`` mode treats an empty source or full destination as a
+    static-scheduling bug and raises; permissive mode retries the
+    transfer on a later cycle (a drive only pops when at least one
+    capture lands), which lets self-synchronizing streaming schedules
+    tolerate start-up skew between clock domains.
+    """
+
+    def __init__(
+        self,
+        program: DouProgram,
+        bus,
+        write_ports: dict,
+        read_ports: dict,
+        strict: bool = True,
+    ) -> None:
+        self.program = program
+        self.bus = bus
+        self.write_ports = write_ports
+        self.read_ports = read_ports
+        self.strict = strict
+        self.state_index = 0
+        self.counters = list(program.counter_initial)
+        self.words_moved = 0     # successful captures (broadcast = N)
+        self.words_retired = 0   # retired drives (broadcast = 1)
+        self.cycles = 0
+        self.blocked_cycles = 0
+
+    @property
+    def state(self) -> DouState:
+        """The current state."""
+        return self.program.states[self.state_index]
+
+    def _advance(self) -> None:
+        state = self.state
+        if state.counter is None:
+            self.state_index = state.next_otherwise
+            return
+        if self.counters[state.counter] == 0:
+            self.counters[state.counter] = (
+                self.program.counter_initial[state.counter]
+            )
+            self.state_index = state.next_if_zero
+        else:
+            self.counters[state.counter] -= 1
+            self.state_index = state.next_otherwise
+
+    def step(self) -> int:
+        """Run one bus cycle; returns the number of words delivered."""
+        self.cycles += 1
+        state = self.state
+        self.bus.configure(state.closed)
+
+        active_drives = []
+        for position, split in state.drives:
+            buffer = self.write_ports.get(position)
+            if buffer is None:
+                raise SimulationError(
+                    f"{self.program.name}: no write port at {position}"
+                )
+            if buffer.is_empty:
+                if self.strict:
+                    raise SimulationError(
+                        f"{self.program.name}: schedule underflow - "
+                        f"drive from empty buffer at position {position}"
+                    )
+                continue
+            active_drives.append((position, split, buffer.peek()))
+
+        results = self.bus.resolve(
+            [(p, s, v) for p, s, v in active_drives],
+            list(state.captures),
+        )
+
+        delivered_by_segment: dict = {}
+        moved = 0
+        for (position, split), value in results.items():
+            if value is None:
+                if self.strict:
+                    raise SimulationError(
+                        f"{self.program.name}: capture from undriven "
+                        f"segment at position {position}, split {split}"
+                    )
+                continue
+            buffer = self.read_ports.get(position)
+            if buffer is None:
+                raise SimulationError(
+                    f"{self.program.name}: no read port at {position}"
+                )
+            if buffer.is_full:
+                if self.strict:
+                    raise SimulationError(
+                        f"{self.program.name}: schedule overflow - "
+                        f"capture into full buffer at position {position}"
+                    )
+                continue
+            buffer.push(value)
+            moved += 1
+            segment = self.bus.segment_of(split, position)
+            delivered_by_segment.setdefault((split, segment), 0)
+            delivered_by_segment[(split, segment)] += 1
+
+        # A drive retires only once at least one capture consumed it.
+        for position, split, _ in active_drives:
+            segment = self.bus.segment_of(split, position)
+            if delivered_by_segment.get((split, segment), 0) > 0:
+                self.write_ports[position].pop()
+                self.words_retired += 1
+            elif self.strict and state.captures:
+                raise SimulationError(
+                    f"{self.program.name}: driven word at position "
+                    f"{position} had no successful capture"
+                )
+
+        if state.drives and moved == 0:
+            self.blocked_cycles += 1
+        self.words_moved += moved
+        self._advance()
+        return moved

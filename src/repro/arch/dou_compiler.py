@@ -1,0 +1,218 @@
+"""Compile logical transfers into DOU programs.
+
+The paper programs each DOU by hand with "the desired communication
+patterns for the column-bus it controls" (Section 2.3).  This module
+is the small compiler the paper leaves to future work: you state WHAT
+moves each cycle (source position -> destination positions) and it
+assigns bus splits, closes the minimal switch runs, and emits a
+validated :class:`~repro.arch.dou.DouProgram`.
+
+Positions are 0..3 for the column's tiles and 4 (PORT_POSITION) for
+its horizontal port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.arch.chip import PORT_POSITION
+from repro.arch.dou import DouCycle, DouProgram, linear_schedule
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One word movement within one bus cycle.
+
+    ``split=None`` asks the compiler to pick a free split; an explicit
+    split is validated against segment conflicts.
+    """
+
+    src: int
+    dsts: tuple
+    split: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.dsts:
+            raise ConfigurationError("a transfer needs >= 1 destination")
+        if self.src in self.dsts:
+            # Self-delivery is legal on the hardware (the source's
+            # read buffer captures its own segment) but is almost
+            # always a schedule bug when requested explicitly.
+            raise ConfigurationError(
+                "source is also a destination; broadcast captures are "
+                "added implicitly where needed"
+            )
+
+    @property
+    def positions(self) -> tuple:
+        """Every position the transfer touches."""
+        return (self.src,) + tuple(self.dsts)
+
+    @property
+    def segment_range(self) -> tuple:
+        """(low, high) positions whose segments must fuse."""
+        return (min(self.positions), max(self.positions))
+
+
+def _ranges_overlap(a: tuple, b: tuple) -> bool:
+    return not (a[1] < b[0] or b[1] < a[0])
+
+
+def compile_cycle(
+    transfers: list,
+    n_positions: int = PORT_POSITION + 1,
+    n_splits: int = 8,
+) -> DouCycle:
+    """Schedule one cycle's transfers onto splits.
+
+    Transfers whose segment ranges overlap must use different splits;
+    disjoint ranges may share one (that is the whole point of
+    segmentation).  Explicit split choices are honoured and checked.
+
+    Raises
+    ------
+    ConfigurationError
+        On out-of-range positions, conflicting explicit splits, or
+        more overlapping transfers than there are splits.
+    """
+    for transfer in transfers:
+        for position in transfer.positions:
+            if not 0 <= position < n_positions:
+                raise ConfigurationError(
+                    f"position {position} outside 0..{n_positions - 1}"
+                )
+
+    # occupied[split] = list of segment ranges already on that split
+    occupied: dict = {}
+
+    def fits(split: int, candidate: tuple) -> bool:
+        return all(
+            not _ranges_overlap(candidate, existing)
+            for existing in occupied.get(split, [])
+        )
+
+    placed = []
+    for transfer in transfers:
+        candidate = transfer.segment_range
+        if transfer.split is not None:
+            if not 0 <= transfer.split < n_splits:
+                raise ConfigurationError(
+                    f"split {transfer.split} outside 0..{n_splits - 1}"
+                )
+            if not fits(transfer.split, candidate):
+                raise ConfigurationError(
+                    f"transfer {transfer.src}->{transfer.dsts} "
+                    f"conflicts on split {transfer.split}"
+                )
+            chosen = transfer.split
+        else:
+            chosen = next(
+                (s for s in range(n_splits) if fits(s, candidate)),
+                None,
+            )
+            if chosen is None:
+                raise ConfigurationError(
+                    "cycle needs more overlapping transfers than the "
+                    f"bus has splits ({n_splits})"
+                )
+        occupied.setdefault(chosen, []).append(candidate)
+        placed.append((transfer, chosen))
+
+    closed = set()
+    drives = []
+    captures = []
+    for transfer, split in placed:
+        low, high = transfer.segment_range
+        for boundary in range(low, high):
+            closed.add((split, boundary))
+        drives.append((transfer.src, split))
+        for dst in transfer.dsts:
+            captures.append((dst, split))
+    return DouCycle(
+        closed=frozenset(closed),
+        drives=tuple(drives),
+        captures=tuple(captures),
+    )
+
+
+def compile_schedule(
+    cycles: list,
+    repeat: int | None = None,
+    n_positions: int = PORT_POSITION + 1,
+    n_splits: int = 8,
+    name: str = "compiled",
+) -> DouProgram:
+    """Compile a list of per-cycle transfer lists into a DOU program."""
+    if not cycles:
+        raise ConfigurationError("schedule needs at least one cycle")
+    compiled = [
+        compile_cycle(cycle, n_positions=n_positions, n_splits=n_splits)
+        for cycle in cycles
+    ]
+    return linear_schedule(compiled, repeat=repeat, name=name)
+
+
+def chain_schedule(
+    stages: int = 4,
+    include_input: bool = True,
+    include_output: bool = True,
+    repeat: int | None = None,
+) -> DouProgram:
+    """The pipeline pattern: port -> t0 -> t1 -> ... -> port.
+
+    All hops run concurrently in a single cycle on distinct splits -
+    the mesh-equivalent bandwidth Section 2.3 claims for a segmented
+    bus.
+    """
+    if not 1 <= stages <= PORT_POSITION:
+        raise ConfigurationError(
+            f"stages must lie in 1..{PORT_POSITION}"
+        )
+    transfers = []
+    if include_input:
+        transfers.append(Transfer(src=PORT_POSITION, dsts=(0,)))
+    for stage in range(stages - 1):
+        transfers.append(Transfer(src=stage, dsts=(stage + 1,)))
+    if include_output:
+        transfers.append(
+            Transfer(src=stages - 1, dsts=(PORT_POSITION,))
+        )
+    return compile_schedule([transfers], repeat=repeat, name="chain")
+
+
+def broadcast_schedule(
+    src: int = 0,
+    include_self: bool = True,
+    repeat: int | None = None,
+) -> DouProgram:
+    """One position broadcasts to every tile each cycle."""
+    dsts = tuple(t for t in range(PORT_POSITION) if t != src)
+    cycle = compile_cycle([Transfer(src=src, dsts=dsts)])
+    if include_self:
+        # SIMD columns usually need the source tile to receive its own
+        # word too (every tile executes the same RECV).
+        split = cycle.drives[0][1]
+        cycle = DouCycle(
+            closed=cycle.closed,
+            drives=cycle.drives,
+            captures=cycle.captures + ((src, split),),
+        )
+    return linear_schedule([cycle], repeat=repeat, name="broadcast")
+
+
+def exchange_schedule(
+    pairs: list | None = None,
+    repeat: int | None = None,
+) -> DouProgram:
+    """Pairwise swap: both directions of each pair in one cycle.
+
+    Default pairs are (0, 1) and (2, 3) - the Viterbi ACS butterfly's
+    neighbour exchange.
+    """
+    pairs = pairs or [(0, 1), (2, 3)]
+    transfers = []
+    for a, b in pairs:
+        transfers.append(Transfer(src=a, dsts=(b,)))
+        transfers.append(Transfer(src=b, dsts=(a,)))
+    return compile_schedule([transfers], repeat=repeat, name="exchange")

@@ -1,0 +1,94 @@
+"""Zero-Overhead Rate Matching (paper Section 2.4).
+
+Columns must compute at exactly the rate their consumers expect; a
+column clocked faster than its task needs would overrun downstream
+buffers.  Rather than padding application code with nops, each SIMD
+controller carries a programmable counter that periodically injects
+nop cycles into its tiles: every ``interval`` issued cycles, ``nops``
+idle cycles follow, throttling throughput by interval/(interval+nops)
+with per-cycle granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class ZormCounter:
+    """The per-column rate-matching counter."""
+
+    def __init__(self, interval: int = 0, nops: int = 0) -> None:
+        if interval < 0 or nops < 0:
+            raise ConfigurationError("interval and nops must be >= 0")
+        if interval == 0 and nops > 0:
+            raise ConfigurationError("nops without an interval never fire")
+        self.interval = interval
+        self.nops = nops
+        self._issued_in_window = 0
+        self._nops_remaining = 0
+        self.total_nops = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether throttling is configured."""
+        return self.interval > 0 and self.nops > 0
+
+    @property
+    def throughput_factor(self) -> float:
+        """Fraction of cycles that issue real work."""
+        if not self.enabled:
+            return 1.0
+        return self.interval / (self.interval + self.nops)
+
+    def should_insert_nop(self) -> bool:
+        """Check (and consume) whether this cycle must be a nop."""
+        if not self.enabled:
+            return False
+        if self._nops_remaining > 0:
+            self._nops_remaining -= 1
+            self.total_nops += 1
+            return True
+        return False
+
+    def note_issue(self) -> None:
+        """Record one issued instruction; may arm a nop burst."""
+        if not self.enabled:
+            return
+        self._issued_in_window += 1
+        if self._issued_in_window >= self.interval:
+            self._issued_in_window = 0
+            self._nops_remaining = self.nops
+
+
+def rate_match_settings(
+    produced_rate: float, consumed_rate: float, max_interval: int = 4096
+) -> tuple:
+    """Compute (interval, nops) throttling a producer to a consumer.
+
+    Returns the smallest-period setting whose throughput factor does
+    not exceed ``consumed_rate / produced_rate``.  A producer already
+    at or below the consumer's rate needs no throttling: (0, 0).
+    """
+    if produced_rate <= 0 or consumed_rate <= 0:
+        raise ConfigurationError("rates must be positive")
+    if consumed_rate >= produced_rate:
+        return (0, 0)
+    ratio = consumed_rate / produced_rate
+    best = None
+    for interval in range(1, max_interval + 1):
+        # smallest nops with interval/(interval+nops) <= ratio
+        nops = -(-interval * (1.0 - ratio) // ratio)  # ceil
+        nops = int(nops)
+        factor = interval / (interval + nops)
+        error = ratio - factor
+        if error < 0:
+            continue
+        if best is None or error < best[0]:
+            best = (error, interval, nops)
+        if error == 0:
+            break
+    if best is None:
+        raise ConfigurationError("no feasible rate-matching setting")
+    return (best[1], best[2])

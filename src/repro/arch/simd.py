@@ -1,0 +1,166 @@
+"""Per-column SIMD controller (paper Section 2.2).
+
+One controller holds the column's program memory and program counter,
+executes every control instruction itself, and forwards only compute
+instructions to the four tiles.  Instead of branch prediction it uses
+a short pipeline that resolves branches early, costing exactly one
+stall cycle per conditional branch and zero for zero-overhead loops.
+The controller also hosts the Zero-Overhead Rate-Matching counter.
+
+Branch conditions are data values; the paper connects the controller
+to the segmented bus to receive them.  We model the conventional case:
+the condition register is read from tile 0 of the column (the
+``condition_source`` callback).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.arch.rate_match import ZormCounter
+from repro.isa.instructions import ALL_TILES_MASK, Instruction, Opcode
+from repro.isa.program import MAX_LOOP_DEPTH, Program
+
+#: Reasons a cycle carries no compute instruction.
+BUBBLE_HALTED = "halted"
+BUBBLE_BRANCH_STALL = "branch_stall"
+BUBBLE_ZORM = "zorm_nop"
+
+
+class SimdController:
+    """Fetch/issue engine for one column."""
+
+    def __init__(
+        self,
+        program: Program,
+        condition_source: Callable | None = None,
+        zorm: ZormCounter | None = None,
+        name: str = "column",
+    ) -> None:
+        self.program = program
+        self.condition_source = condition_source
+        self.zorm = zorm or ZormCounter()
+        self.name = name
+        self.pc = 0
+        self.mask = ALL_TILES_MASK
+        self.halted = False
+        self._loop_stack: list = []
+        self._stall_pending = False
+        self._pending: Instruction | None = None
+        # statistics
+        self.issued = 0
+        self.control_executed = 0
+        self.branch_stalls = 0
+        self.bubbles = 0
+
+    # ------------------------------------------------------------------
+    # control execution
+    # ------------------------------------------------------------------
+    def _condition(self, register: str) -> int:
+        if self.condition_source is None:
+            raise SimulationError(
+                f"{self.name}: conditional branch with no condition source"
+            )
+        return self.condition_source(register)
+
+    def _execute_control(self, instr: Instruction) -> None:
+        """Run one control instruction; updates pc."""
+        op = instr.opcode
+        self.control_executed += 1
+        if op is Opcode.HALT:
+            self.halted = True
+        elif op is Opcode.JUMP:
+            self.pc = instr.target
+        elif op is Opcode.TMASK:
+            if not 0 <= instr.imm <= ALL_TILES_MASK:
+                raise SimulationError(f"{self.name}: bad tile mask")
+            self.mask = instr.imm
+            self.pc += 1
+        elif op is Opcode.LOOP:
+            if len(self._loop_stack) >= MAX_LOOP_DEPTH:
+                raise SimulationError(f"{self.name}: loop stack overflow")
+            self._loop_stack.append([self.pc + 1, instr.imm - 1])
+            self.pc += 1
+        elif op is Opcode.ENDLOOP:
+            if not self._loop_stack:
+                raise SimulationError(f"{self.name}: endloop without loop")
+            top = self._loop_stack[-1]
+            if top[1] > 0:
+                top[1] -= 1
+                self.pc = top[0]
+            else:
+                self._loop_stack.pop()
+                self.pc += 1
+        else:  # conditional branch
+            value = self._condition(instr.srcs[0])
+            taken = {
+                Opcode.BEQ: value == 0,
+                Opcode.BNE: value != 0,
+                Opcode.BLT: value < 0,
+                Opcode.BGE: value >= 0,
+            }[op]
+            self.pc = instr.target if taken else self.pc + 1
+            self._stall_pending = True
+            self.branch_stalls += 1
+
+    # ------------------------------------------------------------------
+    # issue interface
+    # ------------------------------------------------------------------
+    def next_instruction(self) -> Instruction | None:
+        """The compute instruction for this tile cycle, or None.
+
+        Idempotent until :meth:`commit` is called, so the column can
+        refuse to issue (comm-buffer stall) without losing the
+        instruction.  ``None`` means a bubble: halt, branch stall, or
+        a ZORM nop; bubbles self-commit.
+        """
+        if self._pending is not None:
+            return self._pending
+        if self.halted:
+            self.bubbles += 1
+            return None
+        if self._stall_pending:
+            self._stall_pending = False
+            self.bubbles += 1
+            return None
+        if self.zorm.should_insert_nop():
+            self.bubbles += 1
+            return None
+        # Resolve zero-cost control until a compute instruction appears.
+        budget = len(self.program) + 1
+        while True:
+            if self.pc >= len(self.program):
+                self.halted = True
+                self.bubbles += 1
+                return None
+            instr = self.program[self.pc]
+            if not instr.is_control:
+                self._pending = instr
+                return instr
+            self._execute_control(instr)
+            if self.halted or self._stall_pending:
+                self.bubbles += 1
+                if self._stall_pending:
+                    self._stall_pending = False
+                return None
+            budget -= 1
+            if budget <= 0:
+                raise SimulationError(
+                    f"{self.name}: control-only cycle (jump loop with no "
+                    f"compute instruction)"
+                )
+
+    def commit(self) -> None:
+        """Retire the pending instruction returned by next_instruction."""
+        if self._pending is None:
+            raise SimulationError(f"{self.name}: commit with nothing pending")
+        self._pending = None
+        self.pc += 1
+        self.issued += 1
+        self.zorm.note_issue()
+
+    @property
+    def active_mask(self) -> int:
+        """Current tile-enable mask."""
+        return self.mask

@@ -1,0 +1,174 @@
+"""Processing-element tile (paper Sections 2.3 and 4.2).
+
+A tile is a Blackfin-like DSP datapath: data registers R0-R7 (R7 is
+the communication register), pointer registers P0-P5, two 40-bit
+accumulators, and 32 KB of word-addressed local data memory.  Control
+never reaches the tile - the SIMD controller streams decoded compute
+instructions in - so a tile's execute loop is pure dataflow.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.arch.buffers import CommBuffer
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import (
+    RegisterFile,
+    is_accumulator,
+    wrap32,
+)
+
+#: 32 KB data memory = 8192 32-bit words (Table 2).
+DEFAULT_MEMORY_WORDS = 8192
+
+
+class Tile:
+    """One processing element within a column."""
+
+    def __init__(
+        self,
+        tile_id: int,
+        memory_words: int = DEFAULT_MEMORY_WORDS,
+        buffer_capacity: int = 8,
+    ) -> None:
+        self.tile_id = tile_id
+        self.regs = RegisterFile()
+        self.memory = [0] * memory_words
+        self.write_buffer = CommBuffer(
+            f"tile{tile_id}.write", capacity=buffer_capacity
+        )
+        self.read_buffer = CommBuffer(
+            f"tile{tile_id}.read", capacity=buffer_capacity
+        )
+        self.instructions_executed = 0
+        self.mac_operations = 0
+        self.memory_accesses = 0
+
+    # ------------------------------------------------------------------
+    # memory helpers
+    # ------------------------------------------------------------------
+    def load_memory(self, base: int, words: list) -> None:
+        """Preload data memory starting at word address ``base``."""
+        if base < 0 or base + len(words) > len(self.memory):
+            raise SimulationError(
+                f"tile {self.tile_id}: preload outside memory"
+            )
+        for index, word in enumerate(words):
+            self.memory[base + index] = wrap32(word)
+
+    def read_memory(self, base: int, count: int) -> list:
+        """Read ``count`` words starting at ``base``."""
+        if base < 0 or base + count > len(self.memory):
+            raise SimulationError(
+                f"tile {self.tile_id}: read outside memory"
+            )
+        return self.memory[base:base + count]
+
+    def _address(self, instr: Instruction) -> int:
+        address = self.regs.read(instr.ptr) + instr.offset
+        if not 0 <= address < len(self.memory):
+            raise SimulationError(
+                f"tile {self.tile_id}: address {address} out of bounds"
+            )
+        return address
+
+    # ------------------------------------------------------------------
+    # readiness and execution
+    # ------------------------------------------------------------------
+    def can_execute(self, instr: Instruction) -> bool:
+        """Whether the instruction would block on a comm buffer."""
+        if instr.opcode is Opcode.RECV:
+            return not self.read_buffer.is_empty
+        if instr.opcode is Opcode.SEND:
+            return not self.write_buffer.is_full
+        return True
+
+    def execute(self, instr: Instruction) -> None:
+        """Execute one compute/memory/communication instruction."""
+        op = instr.opcode
+        regs = self.regs
+        if op is Opcode.NOP:
+            pass
+        elif op is Opcode.MOVI:
+            regs.write(instr.dst, instr.imm)
+        elif op is Opcode.MOV:
+            regs.write(instr.dst, regs.read(instr.srcs[0]))
+        elif op is Opcode.ADD:
+            regs.write(instr.dst,
+                       regs.read(instr.srcs[0]) + regs.read(instr.srcs[1]))
+        elif op is Opcode.ADDI:
+            regs.write(instr.dst, regs.read(instr.srcs[0]) + instr.imm)
+        elif op is Opcode.SUB:
+            regs.write(instr.dst,
+                       regs.read(instr.srcs[0]) - regs.read(instr.srcs[1]))
+        elif op is Opcode.AND:
+            regs.write(instr.dst,
+                       regs.read(instr.srcs[0]) & regs.read(instr.srcs[1]))
+        elif op is Opcode.OR:
+            regs.write(instr.dst,
+                       regs.read(instr.srcs[0]) | regs.read(instr.srcs[1]))
+        elif op is Opcode.XOR:
+            regs.write(instr.dst,
+                       regs.read(instr.srcs[0]) ^ regs.read(instr.srcs[1]))
+        elif op is Opcode.MIN:
+            regs.write(instr.dst,
+                       min(regs.read_signed(instr.srcs[0]),
+                           regs.read_signed(instr.srcs[1])))
+        elif op is Opcode.MAX:
+            regs.write(instr.dst,
+                       max(regs.read_signed(instr.srcs[0]),
+                           regs.read_signed(instr.srcs[1])))
+        elif op is Opcode.NEG:
+            regs.write(instr.dst, -regs.read_signed(instr.srcs[0]))
+        elif op is Opcode.ABS:
+            regs.write(instr.dst, abs(regs.read_signed(instr.srcs[0])))
+        elif op is Opcode.ASR:
+            regs.write(instr.dst,
+                       regs.read_signed(instr.srcs[0]) >> instr.imm)
+        elif op is Opcode.LSL:
+            regs.write(instr.dst, regs.read(instr.srcs[0]) << instr.imm)
+        elif op is Opcode.LSR:
+            regs.write(instr.dst, regs.read(instr.srcs[0]) >> instr.imm)
+        elif op is Opcode.MUL:
+            product = (regs.read_signed(instr.srcs[0])
+                       * regs.read_signed(instr.srcs[1]))
+            regs.write(instr.dst, product)
+        elif op is Opcode.MULH:
+            product = (regs.read_signed(instr.srcs[0])
+                       * regs.read_signed(instr.srcs[1]))
+            regs.write(instr.dst, product >> 32)
+        elif op is Opcode.MAC:
+            if not is_accumulator(instr.dst):
+                raise SimulationError("mac destination must be A0 or A1")
+            product = (regs.read_signed(instr.srcs[0])
+                       * regs.read_signed(instr.srcs[1]))
+            regs.write(instr.dst, regs.read_signed(instr.dst) + product)
+            self.mac_operations += 1
+        elif op is Opcode.TID:
+            regs.write(instr.dst, self.tile_id)
+        elif op is Opcode.LD:
+            address = self._address(instr)
+            regs.write(instr.dst, self.memory[address])
+            if instr.post_increment:
+                regs.write(instr.ptr, regs.read(instr.ptr) + 1)
+            self.memory_accesses += 1
+        elif op is Opcode.ST:
+            address = self._address(instr)
+            self.memory[address] = wrap32(regs.read(instr.srcs[0]))
+            if instr.post_increment:
+                regs.write(instr.ptr, regs.read(instr.ptr) + 1)
+            self.memory_accesses += 1
+        elif op is Opcode.SEND:
+            self.write_buffer.push(regs.read(instr.srcs[0]))
+        elif op is Opcode.RECV:
+            regs.write(instr.dst, self.read_buffer.pop())
+        else:
+            raise SimulationError(
+                f"tile {self.tile_id}: control opcode {op.value!r} "
+                f"reached a tile"
+            )
+        self.instructions_executed += 1
+
+    def read_signed_register(self, name: str) -> int:
+        """Signed register view (used by the controller for branches)."""
+        return self.regs.read_signed(name)

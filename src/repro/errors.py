@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Synchroscalar reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A chip, column, or application configuration is inconsistent."""
+
+
+class FrequencyRangeError(ConfigurationError):
+    """A requested frequency cannot be supported by any voltage rail."""
+
+
+class AssemblyError(ReproError):
+    """Assembly source could not be parsed or encoded."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an illegal machine state."""
+
+
+class SdfError(ReproError):
+    """A synchronous dataflow graph is inconsistent or unschedulable."""
+
+
+class MappingError(ReproError):
+    """An application mapping violates architectural constraints."""

@@ -1,0 +1,71 @@
+"""Figure 10: leakage sensitivity for Stereo Vision and MPEG4.
+
+The paper's headline observation is the MPEG4 crossover: below
+~14.8 mA/tile (8.3 nA/transistor) the 36-tile structure wins, above
+it the 12-tile structure wins.
+"""
+
+from __future__ import annotations
+
+from repro.power.report import render_table
+from repro.tech.leakage import (
+    LEAKAGE_SWEEP_MA_PER_TILE,
+    per_transistor_na_for_tile_ma,
+)
+from repro.workloads.explorer import LeakageStudy
+from repro.workloads.parallel import parallel_studies
+
+PAPER_CROSSOVER_MA = 14.8
+
+
+def compute() -> list:
+    """LeakageSeries for every SV and MPEG4 configuration."""
+    studies = parallel_studies()
+    series = []
+    for key in ("stereo", "mpeg4"):
+        series.extend(LeakageStudy(studies[key]).series())
+    return series
+
+
+def mpeg4_crossover() -> dict:
+    """The 12-vs-36-tile crossover current (and per-transistor nA)."""
+    study = LeakageStudy(parallel_studies()["mpeg4"])
+    crossover = study.crossover_ma(12, 36)
+    return {
+        "crossover_ma": crossover,
+        "crossover_na_per_transistor": (
+            per_transistor_na_for_tile_ma(crossover)
+            if crossover else None
+        ),
+        "paper_ma": PAPER_CROSSOVER_MA,
+    }
+
+
+def render() -> str:
+    """Figure 10 as a table plus the crossover summary."""
+    series = compute()
+    header = ["Configuration"] + [
+        f"{ma:.1f}" for ma in LEAKAGE_SWEEP_MA_PER_TILE
+    ]
+    rows = [
+        [s.label] + [f"{p:.0f}" for p in s.power_mw]
+        for s in series
+    ]
+    crossing = mpeg4_crossover()
+    lines = [
+        "Figure 10. Leakage sensitivity for MPEG4, SV "
+        "(power mW vs mA leakage per tile)",
+        render_table(header, rows),
+        "",
+    ]
+    if crossing["crossover_ma"] is None:
+        lines.append("MPEG4 12 vs 36 tiles: no crossover found")
+    else:
+        lines.append(
+            f"MPEG4 12 vs 36 tile crossover at "
+            f"{crossing['crossover_ma']:.1f} mA/tile "
+            f"({crossing['crossover_na_per_transistor']:.1f} nA/"
+            f"transistor); paper: {crossing['paper_ma']} mA "
+            f"(8.3 nA/transistor)."
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Figure 5: voltage-frequency curve for 15 and 20 FO4 pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power.report import render_table
+from repro.tech.vf_curve import VoltageFrequencyCurve
+
+
+def compute(points: int = 16) -> dict:
+    """{fo4 depth: [(voltage, f_max MHz), ...]} over the paper sweep."""
+    voltages = np.linspace(0.62, 2.12, points)
+    out = {}
+    for depth in (20, 15):
+        curve = VoltageFrequencyCurve.from_technology(fo4_depth=depth)
+        out[depth] = curve.sweep(voltages)
+    return out
+
+
+def render() -> str:
+    """Figure 5's two series as a table."""
+    data = compute()
+    rows = []
+    for (v, f20), (_, f15) in zip(data[20], data[15]):
+        rows.append((f"{v:.2f}", f"{f20:.0f}", f"{f15:.0f}"))
+    return (
+        "Figure 5. Voltage-Frequency curve (MHz)\n"
+        + render_table(("Supply (V)", "20 FO4", "15 FO4"), rows)
+    )

@@ -1,0 +1,62 @@
+"""Figure 6: power by application, with and without voltage scaling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import PowerModel
+from repro.power.report import render_table
+from repro.workloads.configs import all_applications
+
+#: Figure 6's x-axis order.
+_ORDER = ("ddc", "stereo", "wlan", "mpeg4_cif", "mpeg4_qcif", "wlan_aes")
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One stacked bar: scaled power plus the unscaled increment."""
+
+    application: str
+    scaled_mw: float
+    additional_unscaled_mw: float
+
+    @property
+    def unscaled_mw(self) -> float:
+        """Total height of the stacked bar."""
+        return self.scaled_mw + self.additional_unscaled_mw
+
+
+def compute() -> list:
+    """The six bars of Figure 6."""
+    model = PowerModel()
+    bars = []
+    applications = all_applications()
+    for key in _ORDER:
+        config = applications[key]
+        multi = model.application_power(config.name, config.specs)
+        single = model.application_power(
+            config.name, config.specs, single_voltage=True
+        )
+        bars.append(Bar(
+            application=config.name,
+            scaled_mw=multi.total_mw,
+            additional_unscaled_mw=single.total_mw - multi.total_mw,
+        ))
+    return bars
+
+
+def render() -> str:
+    """Figure 6 as a table."""
+    rows = [
+        (bar.application, f"{bar.scaled_mw:.1f}",
+         f"{bar.additional_unscaled_mw:.1f}", f"{bar.unscaled_mw:.1f}")
+        for bar in compute()
+    ]
+    return (
+        "Figure 6. Power Consumption by Application (mW)\n"
+        + render_table(
+            ("Application", "Voltage scaling", "Additional w/o scaling",
+             "Single voltage"),
+            rows,
+        )
+    )

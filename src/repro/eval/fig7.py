@@ -1,0 +1,66 @@
+"""Figure 7: power versus parallelization, compute vs overhead split."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import PowerModel
+from repro.power.report import render_table
+from repro.tech.parameters import PAPER_TECHNOLOGY
+from repro.workloads.parallel import parallel_studies
+
+
+@dataclass(frozen=True)
+class ParallelBar:
+    """One Figure 7 bar: an application at one tile count."""
+
+    application: str
+    n_tiles: int
+    compute_mw: float
+    overhead_mw: float  # interconnect + leakage (the dark portion)
+
+    @property
+    def total_mw(self) -> float:
+        """Bar height."""
+        return self.compute_mw + self.overhead_mw
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Dark share of the bar."""
+        return self.overhead_mw / self.total_mw if self.total_mw else 0.0
+
+
+def compute() -> list:
+    """Every bar of Figure 7 (exploration voltage rails)."""
+    model = PowerModel(rails=PAPER_TECHNOLOGY.exploration_rails)
+    bars = []
+    for study in parallel_studies().values():
+        for total in study.tile_points:
+            power = model.application_power(
+                study.name, study.configuration(total)
+            )
+            bars.append(ParallelBar(
+                application=study.name,
+                n_tiles=total,
+                compute_mw=power.compute_mw,
+                overhead_mw=power.overhead_mw,
+            ))
+    return bars
+
+
+def render() -> str:
+    """Figure 7 as a table."""
+    rows = [
+        (f"{bar.application} {bar.n_tiles} Tiles",
+         f"{bar.compute_mw:.1f}", f"{bar.overhead_mw:.1f}",
+         f"{bar.total_mw:.1f}", f"{100 * bar.overhead_fraction:.0f}%")
+        for bar in compute()
+    ]
+    return (
+        "Figure 7. Power Consumption with varying parallelization (mW)\n"
+        + render_table(
+            ("Configuration", "Compute", "Interconnect+Leakage",
+             "Total", "Dark share"),
+            rows,
+        )
+    )

@@ -1,0 +1,64 @@
+"""Figure 8: Viterbi ACS power vs area across bus widths and tiles."""
+
+from __future__ import annotations
+
+from repro.power.report import render_table
+from repro.workloads.explorer import ViterbiBusStudy
+
+
+def compute() -> list:
+    """All (tiles, bus width) points, feasible or not."""
+    return ViterbiBusStudy().sweep()
+
+
+def knee_gain(points: list | None = None, n_tiles: int = 16) -> dict:
+    """Power reduction per bus doubling around the 256-bit choice.
+
+    The paper picks 256 bits because 128->256 still helps
+    significantly while 256->512 helps much less (Section 5.3).
+    """
+    points = points if points is not None else compute()
+    by_width = {
+        p.bus_width_bits: p for p in points
+        if p.n_tiles == n_tiles and p.feasible
+    }
+    gains = {}
+    for narrow, wide in ((128, 256), (256, 512), (512, 1024)):
+        if narrow in by_width and wide in by_width:
+            gains[f"{narrow}->{wide}"] = (
+                by_width[narrow].power_mw - by_width[wide].power_mw
+            )
+    return gains
+
+
+def render() -> str:
+    """Figure 8 as a table plus the knee summary."""
+    rows = []
+    for point in compute():
+        if point.feasible:
+            rows.append((
+                point.n_tiles, point.bus_width_bits,
+                f"{point.frequency_mhz:.0f}", f"{point.voltage_v:.1f}",
+                f"{point.power_mw:.0f}", f"{point.area_mm2:.1f}",
+            ))
+        else:
+            rows.append((
+                point.n_tiles, point.bus_width_bits,
+                f"{point.frequency_mhz:.0f}", "-", "infeasible",
+                f"{point.area_mm2:.1f}",
+            ))
+    gains = knee_gain()
+    lines = [
+        "Figure 8. Viterbi ACS power with varying bus widths and "
+        "parallelization",
+        render_table(
+            ("Tiles", "Bus bits", "MHz", "V", "Power (mW)",
+             "Area (mm^2)"),
+            rows,
+        ),
+        "",
+        "Power saved per bus doubling (16 tiles): " + ", ".join(
+            f"{k}: {v:.0f} mW" for k, v in gains.items()
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Figure 9: leakage sensitivity for DDC and 802.11a."""
+
+from __future__ import annotations
+
+from repro.power.report import render_table
+from repro.tech.leakage import LEAKAGE_SWEEP_MA_PER_TILE
+from repro.workloads.explorer import LeakageStudy
+from repro.workloads.parallel import parallel_studies
+
+
+def compute() -> list:
+    """LeakageSeries for every DDC and 802.11a configuration."""
+    studies = parallel_studies()
+    series = []
+    for key in ("wlan", "ddc"):
+        series.extend(LeakageStudy(studies[key]).series())
+    return series
+
+
+def render() -> str:
+    """Figure 9 as a table (one column per leakage point)."""
+    series = compute()
+    header = ["Configuration"] + [
+        f"{ma:.1f}" for ma in LEAKAGE_SWEEP_MA_PER_TILE
+    ]
+    rows = [
+        [s.label] + [f"{p:.0f}" for p in s.power_mw]
+        for s in series
+    ]
+    return (
+        "Figure 9. Leakage sensitivity for DDC, 802.11a "
+        "(power mW vs mA leakage per tile)\n"
+        + render_table(header, rows)
+    )

@@ -1,0 +1,85 @@
+"""Regenerate every table and figure: ``python -m repro.eval.runner``.
+
+Options::
+
+    python -m repro.eval.runner                      # all, to stdout
+    python -m repro.eval.runner --experiment fig8    # one experiment
+    python -m repro.eval.runner --output results/    # write .txt files
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.eval import fig5, fig6, fig7, fig8, fig9, fig10
+from repro.eval import table1, table2, table3, table4
+
+_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}
+
+
+def run_all(names: list | None = None) -> dict:
+    """{experiment id: rendered text} for the selected experiments."""
+    selected = names or list(_EXPERIMENTS)
+    unknown = set(selected) - set(_EXPERIMENTS)
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {sorted(unknown)}; valid: "
+            f"{sorted(_EXPERIMENTS)}"
+        )
+    return {name: _EXPERIMENTS[name].render() for name in selected}
+
+
+def write_results(outputs: dict, directory: str) -> list:
+    """Write each experiment's text to ``directory/<name>.txt``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in outputs.items():
+        target = path / f"{name}.txt"
+        target.write_text(text + "\n")
+        written.append(target)
+    return written
+
+
+def main(argv: list | None = None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--experiment", "-e", action="append", dest="experiments",
+        choices=sorted(_EXPERIMENTS), default=None,
+        help="run one experiment (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="DIR",
+        help="write each experiment to DIR/<name>.txt",
+    )
+    args = parser.parse_args(argv)
+    outputs = run_all(args.experiments)
+    if args.output:
+        for target in write_results(outputs, args.output):
+            print(f"wrote {target}")
+        return
+    for name, text in outputs.items():
+        print("=" * 72)
+        print(f"== {name}")
+        print("=" * 72)
+        print(text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Table 1: technology parameters."""
+
+from __future__ import annotations
+
+from repro.power.report import render_table
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+
+
+def compute(tech: TechnologyParameters = PAPER_TECHNOLOGY) -> list:
+    """The (parameter, value, source) rows of Table 1."""
+    return [
+        ("Technology", f"{tech.feature_size_nm:.0f} nm", ""),
+        ("Minimum Voltage", f"{tech.v_min} V", "Blackfin DSP [20]"),
+        ("Maximum Voltage", f"{tech.v_max} V", "Estimated [17]"),
+        ("Threshold Voltage", f"{tech.v_threshold} V", "[17]"),
+        ("Temperature", f"{tech.temperature_c:.0f} C", "Assumed"),
+        ("Oxide Thickness", f"{tech.oxide_thickness_nm} nm", "[17]"),
+        ("Oxide Strength", f"{tech.oxide_strength_v_per_cm:.0e} V/cm",
+         "[17]"),
+        ("Max Frequency", f"{tech.f_max_mhz:.0f} MHz",
+         "V-f model (SPICE substitute)"),
+        ("Tile Power", f"{tech.tile_power_mw_per_mhz} mW/MHz",
+         "Section 4.2 derivation"),
+        ("Tile Size", f"{tech.tile_area_mm2} mm^2", "Section 4.6"),
+        ("Wire Capacitance", f"{tech.wire_capacitance_ff_per_mm} fF/mm",
+         "Semi-global [16]"),
+        ("Wire Pitch", f"{tech.wire_pitch_um} um", "16 lambda [16]"),
+    ]
+
+
+def render() -> str:
+    """Table 1 as text."""
+    rows = compute()
+    return "Table 1. Technology Parameters\n" + render_table(
+        ("Parameter", "Value", "Source"), rows
+    )

@@ -1,0 +1,59 @@
+"""Table 2: tile / SIMD controller / DOU area estimation."""
+
+from __future__ import annotations
+
+from repro.power.report import render_table
+from repro.tech.area import (
+    AreaModel,
+    CONTROLLER_COMPONENT_AREAS_UM2,
+    PAPER_CONTROLLER_TOTAL_UM2,
+    PAPER_DOU_AREA_MM2,
+    PAPER_SIMD_AREA_MM2,
+    PAPER_TILE_TOTAL_UM2,
+    TILE_COMPONENT_AREAS_UM2,
+)
+
+
+def compute() -> dict:
+    """Component areas plus derived totals."""
+    model = AreaModel()
+    return {
+        "tile_components_um2": dict(TILE_COMPONENT_AREAS_UM2),
+        "tile_total_um2": model.tile_component_total_um2(),
+        "paper_tile_total_um2": PAPER_TILE_TOTAL_UM2,
+        "controller_components_um2": dict(CONTROLLER_COMPONENT_AREAS_UM2),
+        "paper_controller_total_um2": PAPER_CONTROLLER_TOTAL_UM2,
+        "tile_area_scaled_mm2": model.tile_area_mm2(scaled=True),
+        "paper_tile_area_mm2": model.tech.tile_area_mm2,
+        "simd_area_mm2": PAPER_SIMD_AREA_MM2,
+        "dou_area_mm2": PAPER_DOU_AREA_MM2,
+        "column_overhead_mm2": model.column_overhead_mm2(),
+    }
+
+
+def render() -> str:
+    """Table 2 as text."""
+    data = compute()
+    rows = [
+        (name, f"{area:,.0f}")
+        for name, area in data["tile_components_um2"].items()
+    ]
+    rows.append(("TILE TOTAL", f"{data['tile_total_um2']:,.0f}"))
+    rows.append(("  (paper total)", f"{data['paper_tile_total_um2']:,.0f}"))
+    rows.extend(
+        (name, f"{area:,.0f}")
+        for name, area in data["controller_components_um2"].items()
+    )
+    rows.append(("SIMD+DOU TOTAL (paper)",
+                 f"{data['paper_controller_total_um2']:,.0f}"))
+    lines = [
+        "Table 2. Tile and DOU and SIMD Control Area Estimation (um^2 "
+        "at 0.25 um)",
+        render_table(("Component", "Area (um^2)"), rows),
+        "",
+        f"Tile scaled to 130 nm: {data['tile_area_scaled_mm2']:.2f} mm^2 "
+        f"(paper Table 1: {data['paper_tile_area_mm2']} mm^2)",
+        f"SIMD controller {data['simd_area_mm2']} mm^2 + DOU "
+        f"{data['dou_area_mm2']} mm^2 per column",
+    ]
+    return "\n".join(lines)

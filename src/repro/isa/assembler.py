@@ -1,0 +1,230 @@
+"""Two-pass assembler for the Synchroscalar column ISA.
+
+Syntax (case-insensitive, one instruction per line):
+
+    ; comment                        # comment
+    .equ taps, 21                    named constant
+    start:                           label (may share a line)
+        movi r0, 0
+        movi p0, 0x100
+        loop taps                    zero-overhead loop
+            ld r1, [p0++]            post-increment load
+            mac a0, r1, r2
+        endloop
+        mov r7, a0
+        send r7                      write buffer <- r7
+        recv r3                      r3 <- read buffer
+        bne r3, start
+        halt
+
+Operands: data/pointer/accumulator registers, immediates (decimal,
+hex, negative, or ``.equ`` symbols), memory references ``[pN]``,
+``[pN+k]``, ``[pN-k]``, ``[pN++]``, and labels.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    Instruction,
+    MEMORY_OPCODES,
+    Opcode,
+    _SIGNATURES,
+)
+from repro.isa.program import Program
+from repro.isa.registers import ALL_REGISTERS
+
+_MNEMONICS = {op.value: op for op in Opcode}
+_REGISTERS = {name.lower() for name in ALL_REGISTERS}
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<ptr>[pP][0-5])\s*"
+    r"(?:(?P<inc>\+\+)|(?P<sign>[+-])\s*(?P<off>\w+))?\s*\]$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(token: str, symbols: dict, context: str) -> int:
+    token = token.strip()
+    if token.lower() in symbols:
+        return symbols[token.lower()]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"{context}: bad immediate {token!r}") from None
+
+
+def _split_operands(text: str) -> list:
+    """Split on commas that are not inside a memory bracket."""
+    operands = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+class _Line:
+    """One source line after comment stripping and label extraction."""
+
+    def __init__(self, number: int, mnemonic: str, operands: list) -> None:
+        self.number = number
+        self.mnemonic = mnemonic
+        self.operands = operands
+
+
+def _first_pass(source: str, name: str) -> tuple:
+    """Collect labels, symbols, and raw instruction lines."""
+    labels: dict = {}
+    symbols: dict = {}
+    lines: list = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw)
+        if not text:
+            continue
+        context = f"{name}:{number}"
+        if text.startswith(".equ"):
+            parts = _split_operands(text[len(".equ"):])
+            if len(parts) != 2:
+                raise AssemblyError(f"{context}: .equ needs name, value")
+            symbol = parts[0].lower()
+            if not _LABEL_RE.match(symbol):
+                raise AssemblyError(f"{context}: bad symbol name {symbol!r}")
+            symbols[symbol] = _parse_int(parts[1], symbols, context)
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*", text)
+            if not match:
+                break
+            label = match.group(1).lower()
+            if label in labels:
+                raise AssemblyError(f"{context}: duplicate label {label!r}")
+            if label in _MNEMONICS or label in _REGISTERS:
+                raise AssemblyError(
+                    f"{context}: label {label!r} shadows a mnemonic/register"
+                )
+            labels[label] = len(lines)
+            text = text[match.end():]
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        if mnemonic not in _MNEMONICS:
+            raise AssemblyError(f"{context}: unknown mnemonic {mnemonic!r}")
+        lines.append(_Line(number, mnemonic, _split_operands(operand_text)))
+    return labels, symbols, lines
+
+
+def _classify(token: str) -> str:
+    token = token.strip()
+    if token.lower() in _REGISTERS:
+        return "register"
+    if token.startswith("["):
+        return "memory"
+    return "other"
+
+
+def _build_instruction(
+    line: _Line, labels: dict, symbols: dict, name: str
+) -> Instruction:
+    context = f"{name}:{line.number}"
+    opcode = _MNEMONICS[line.mnemonic]
+    has_dst, n_srcs, has_imm, has_target = _SIGNATURES[opcode]
+
+    operands = list(line.operands)
+    dst = None
+    srcs: list = []
+    imm = None
+    target = None
+    ptr = None
+    offset = 0
+    post_increment = False
+
+    def take(kind_hint: str) -> str:
+        if not operands:
+            raise AssemblyError(f"{context}: missing {kind_hint} operand")
+        return operands.pop(0)
+
+    try:
+        if has_dst:
+            token = take("destination")
+            if _classify(token) != "register":
+                raise AssemblyError(
+                    f"{context}: destination must be a register, "
+                    f"got {token!r}"
+                )
+            dst = token.upper()
+        if opcode in MEMORY_OPCODES:
+            token = take("memory")
+            match = _MEM_RE.match(token)
+            if not match:
+                raise AssemblyError(f"{context}: bad memory operand {token!r}")
+            ptr = match.group("ptr").upper()
+            if match.group("inc"):
+                post_increment = True
+            elif match.group("off") is not None:
+                offset = _parse_int(match.group("off"), symbols, context)
+                if match.group("sign") == "-":
+                    offset = -offset
+        for _ in range(n_srcs):
+            token = take("source")
+            if _classify(token) != "register":
+                raise AssemblyError(
+                    f"{context}: source must be a register, got {token!r}"
+                )
+            srcs.append(token.upper())
+        if has_imm:
+            imm = _parse_int(take("immediate"), symbols, context)
+        if has_target:
+            token = take("target").lower()
+            if token not in labels:
+                raise AssemblyError(f"{context}: unknown label {token!r}")
+            target = labels[token]
+        if operands:
+            raise AssemblyError(
+                f"{context}: unexpected operand(s) {operands!r}"
+            )
+        return Instruction(
+            opcode=opcode, dst=dst, srcs=tuple(srcs), imm=imm,
+            target=target, ptr=ptr, offset=offset,
+            post_increment=post_increment,
+        )
+    except AssemblyError:
+        raise
+    except Exception as exc:  # pragma: no cover - defensive
+        raise AssemblyError(f"{context}: {exc}") from exc
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble source text into a :class:`Program`."""
+    labels, symbols, lines = _first_pass(source, name)
+    for label, address in labels.items():
+        if address > len(lines):
+            raise AssemblyError(f"{name}: label {label!r} past end")
+    instructions = tuple(
+        _build_instruction(line, labels, symbols, name) for line in lines
+    )
+    return Program(
+        instructions=instructions, labels=labels, symbols=symbols, name=name
+    )

@@ -1,0 +1,103 @@
+"""Binary encoding of instructions into 64-bit words.
+
+The layout mirrors the style of Blackfin encodings but is our own
+(the paper never publishes one):
+
+    [63:58] opcode        [57:54] tile mask
+    [53:49] dst + 1       [48:44] src1 + 1      [43:39] src2 + 1
+    [38:34] ptr + 1       [33]    post-increment
+    [32]    payload-present
+    [31:0]  payload: immediate (signed), branch target (unsigned),
+            or memory offset (signed) -- disambiguated by the opcode
+
+Register slots store ``index + 1`` so zero means "absent".
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    Instruction,
+    MEMORY_OPCODES,
+    Opcode,
+    _SIGNATURES,
+)
+from repro.isa.registers import register_index, register_name
+
+_OPCODES = tuple(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+
+_PAYLOAD_BITS = 32
+_PAYLOAD_MASK = (1 << _PAYLOAD_BITS) - 1
+_PAYLOAD_MIN = -(1 << (_PAYLOAD_BITS - 1))
+_PAYLOAD_MAX = (1 << (_PAYLOAD_BITS - 1)) - 1
+
+
+def _reg_slot(name: str | None) -> int:
+    return 0 if name is None else register_index(name) + 1
+
+
+def _slot_reg(slot: int) -> str | None:
+    return None if slot == 0 else register_name(slot - 1)
+
+
+def _payload_of(instr: Instruction) -> tuple:
+    """(payload value, present flag) for one instruction."""
+    _, _, has_imm, has_target = _SIGNATURES[instr.opcode]
+    if has_imm:
+        return instr.imm, True
+    if has_target:
+        if not isinstance(instr.target, int):
+            raise AssemblyError(
+                f"cannot encode unresolved target {instr.target!r}"
+            )
+        return instr.target, True
+    if instr.opcode in MEMORY_OPCODES:
+        return instr.offset, True
+    return 0, False
+
+
+def encode(instr: Instruction) -> int:
+    """Encode one instruction into a 64-bit word."""
+    payload, present = _payload_of(instr)
+    if not _PAYLOAD_MIN <= payload <= _PAYLOAD_MAX:
+        raise AssemblyError(f"payload {payload} exceeds 32 bits")
+    word = _OPCODE_INDEX[instr.opcode] << 58
+    word |= (instr.mask & 0xF) << 54
+    word |= _reg_slot(instr.dst) << 49
+    word |= _reg_slot(instr.srcs[0] if len(instr.srcs) > 0 else None) << 44
+    word |= _reg_slot(instr.srcs[1] if len(instr.srcs) > 1 else None) << 39
+    word |= _reg_slot(instr.ptr) << 34
+    word |= (1 if instr.post_increment else 0) << 33
+    word |= (1 if present else 0) << 32
+    word |= payload & _PAYLOAD_MASK
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Invert :func:`encode`."""
+    if not 0 <= word < (1 << 64):
+        raise AssemblyError("encoded word must fit in 64 bits")
+    opcode_index = (word >> 58) & 0x3F
+    if opcode_index >= len(_OPCODES):
+        raise AssemblyError(f"unknown opcode index {opcode_index}")
+    opcode = _OPCODES[opcode_index]
+    mask = (word >> 54) & 0xF
+    dst = _slot_reg((word >> 49) & 0x1F)
+    src1 = _slot_reg((word >> 44) & 0x1F)
+    src2 = _slot_reg((word >> 39) & 0x1F)
+    ptr = _slot_reg((word >> 34) & 0x1F)
+    post_increment = bool((word >> 33) & 1)
+    present = bool((word >> 32) & 1)
+    raw = word & _PAYLOAD_MASK
+    signed = raw - (1 << _PAYLOAD_BITS) if raw >> (_PAYLOAD_BITS - 1) else raw
+
+    srcs = tuple(s for s in (src1, src2) if s is not None)
+    _, _, has_imm, has_target = _SIGNATURES[opcode]
+    imm = signed if (has_imm and present) else None
+    target = raw if (has_target and present) else None
+    offset = signed if (opcode in MEMORY_OPCODES and present) else 0
+    return Instruction(
+        opcode=opcode, dst=dst, srcs=srcs, imm=imm, target=target,
+        ptr=ptr, offset=offset, post_increment=post_increment, mask=mask,
+    )

@@ -1,0 +1,100 @@
+"""Program container: instructions, labels, and structural validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import BRANCH_OPCODES, Instruction, Opcode
+
+#: Matches the DOU's four nested-loop counters (Section 2.3).
+MAX_LOOP_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled column program.
+
+    ``labels`` maps label name to instruction address; ``symbols`` holds
+    ``.equ`` constants for callers that want to introspect them.
+    """
+
+    instructions: tuple
+    labels: dict = field(default_factory=dict)
+    symbols: dict = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        self._validate_targets()
+        self._validate_loops()
+
+    def _validate_targets(self) -> None:
+        for address, instr in enumerate(self.instructions):
+            if instr.opcode in BRANCH_OPCODES:
+                if not isinstance(instr.target, int):
+                    raise AssemblyError(
+                        f"{self.name}@{address}: unresolved target "
+                        f"{instr.target!r}"
+                    )
+                if not 0 <= instr.target < len(self.instructions):
+                    raise AssemblyError(
+                        f"{self.name}@{address}: target {instr.target} "
+                        f"outside program"
+                    )
+
+    def _validate_loops(self) -> None:
+        depth = 0
+        max_depth = 0
+        for address, instr in enumerate(self.instructions):
+            if instr.opcode is Opcode.LOOP:
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif instr.opcode is Opcode.ENDLOOP:
+                depth -= 1
+                if depth < 0:
+                    raise AssemblyError(
+                        f"{self.name}@{address}: endloop without loop"
+                    )
+        if depth != 0:
+            raise AssemblyError(f"{self.name}: {depth} unterminated loop(s)")
+        if max_depth > MAX_LOOP_DEPTH:
+            raise AssemblyError(
+                f"{self.name}: loop nesting {max_depth} exceeds the "
+                f"{MAX_LOOP_DEPTH}-deep hardware loop stack"
+            )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, address: int) -> Instruction:
+        return self.instructions[address]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def address_of(self, label: str) -> int:
+        """Address of a label."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblyError(f"{self.name}: unknown label {label!r}") from None
+
+    def listing(self) -> str:
+        """Human-readable disassembly with addresses and labels."""
+        by_address = {}
+        for label, address in self.labels.items():
+            by_address.setdefault(address, []).append(label)
+        lines = []
+        for address, instr in enumerate(self.instructions):
+            for label in by_address.get(address, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {address:4d}  {instr.text()}")
+        return "\n".join(lines)
+
+
+def halting(program: Program) -> bool:
+    """True when the program ends in an explicit HALT."""
+    return bool(program.instructions) and (
+        program.instructions[-1].opcode is Opcode.HALT
+    )

@@ -1,0 +1,29 @@
+"""Hand-written Synchroscalar assembly kernels (paper Section 4.5).
+
+The paper compiles applications to assembly and hand-optimizes the
+inner loops; these kernels are our equivalents, executed on the
+cycle-level simulator to produce the cycles-per-sample and
+communication measurements the Section 4.1 methodology consumes.
+
+Each kernel bundles a column program, an (optionally compiled) DOU
+schedule, tile memory images, and a correctness check against its
+functional reference.
+"""
+
+from repro.kernels.base import Kernel, KernelRun, run_kernel
+from repro.kernels.fir import build_fir_kernel
+from repro.kernels.mixer import build_mixer_kernel
+from repro.kernels.cic import build_cic_chain_kernel
+from repro.kernels.viterbi_acs import build_acs_kernel
+from repro.kernels.dct import build_dct_kernel
+
+__all__ = [
+    "Kernel",
+    "KernelRun",
+    "run_kernel",
+    "build_fir_kernel",
+    "build_mixer_kernel",
+    "build_cic_chain_kernel",
+    "build_acs_kernel",
+    "build_dct_kernel",
+]

@@ -1,0 +1,79 @@
+"""Kernel harness: bundle program + schedule + data + reference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.dou import DouProgram
+from repro.isa.program import Program
+from repro.sim.simulator import run_single_column
+from repro.sim.stats import SimulationStats
+
+
+@dataclass
+class Kernel:
+    """A runnable column kernel with its correctness oracle.
+
+    ``checker`` receives the finished chip and statistics and raises
+    ``AssertionError`` if the architectural state disagrees with the
+    functional reference.  ``samples`` is the logical sample count the
+    kernel processes, used for cycles-per-sample derivation.
+    """
+
+    name: str
+    program: Program
+    samples: int
+    checker: Callable
+    dou_program: DouProgram | None = None
+    memory_images: dict = field(default_factory=dict)
+    input_words: list = field(default_factory=list)
+    read_primes: dict = field(default_factory=dict)
+    strict: bool = False
+    max_ticks: int = 200_000
+
+
+@dataclass
+class KernelRun:
+    """A completed kernel execution."""
+
+    kernel: Kernel
+    chip: object
+    stats: SimulationStats
+
+    @property
+    def cycles_per_sample(self) -> float:
+        """Tile cycles per logical sample (Section 4.1 step 6)."""
+        return self.stats.cycles_per_sample(0, self.kernel.samples)
+
+    @property
+    def issued(self) -> int:
+        """Instructions issued by the column."""
+        return self.stats.column(0).issued
+
+    @property
+    def bus_words_per_cycle(self) -> float:
+        """Measured communication density (feeds CommProfile)."""
+        return self.stats.column(0).bus_words_per_cycle
+
+    def frequency_for_rate(self, sample_rate_msps: float) -> float:
+        """Required clock for a target input rate (step 7)."""
+        return self.stats.frequency_for_rate(
+            0, self.kernel.samples, sample_rate_msps
+        )
+
+
+def run_kernel(kernel: Kernel) -> KernelRun:
+    """Execute a kernel to halt and verify it against its reference."""
+    chip, stats = run_single_column(
+        kernel.program,
+        dou_program=kernel.dou_program,
+        memory_images=kernel.memory_images,
+        input_words=kernel.input_words,
+        read_primes=kernel.read_primes,
+        strict_schedules=kernel.strict,
+        max_ticks=kernel.max_ticks,
+    )
+    run = KernelRun(kernel=kernel, chip=chip, stats=stats)
+    kernel.checker(chip, stats)
+    return run

@@ -1,0 +1,75 @@
+"""8-point DCT row pass in Q14 fixed point.
+
+The MPEG-4 DCT component's inner loop: each tile transforms its own
+8-sample vector with a MAC loop per output coefficient (64 MACs per
+vector).  Coefficients are the orthonormal DCT-II basis scaled by
+2^14; the oracle is the float transform within quantization error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.mpeg4.dct import dct_matrix
+from repro.isa.assembler import assemble
+from repro.isa.registers import signed32
+from repro.kernels.base import Kernel
+
+COEFF_BASE = 0      # 64 words, row-major C * 2^14
+INPUT_BASE = 128    # 8 words
+OUTPUT_BASE = 160   # 8 words
+Q_SHIFT = 14
+
+_PROGRAM_TEXT = f"""
+    movi p0, {COEFF_BASE}
+    movi p2, {OUTPUT_BASE}
+    loop 8
+      movi p1, {INPUT_BASE}
+      movi a0, 0
+      loop 8
+        ld r1, [p0++]
+        ld r2, [p1++]
+        mac a0, r1, r2
+      endloop
+      mov r3, a0
+      asr r3, r3, {Q_SHIFT}
+      st [p2++], r3
+    endloop
+    halt
+"""
+
+
+def build_dct_kernel(seed: int = 9) -> Kernel:
+    """One 8-point DCT per tile over random pixel-valued vectors."""
+    rng = np.random.default_rng(seed)
+    basis = dct_matrix(8)
+    q14 = np.round(basis * (1 << Q_SHIFT)).astype(np.int64)
+    vectors = {
+        tile: rng.integers(-128, 128, size=8) for tile in range(4)
+    }
+    memory_images = {
+        tile: {
+            COEFF_BASE: [int(c) for c in q14.ravel()],
+            INPUT_BASE: [int(v) for v in vectors[tile]],
+        }
+        for tile in range(4)
+    }
+
+    def checker(chip, stats) -> None:
+        for tile_index, tile in enumerate(chip.columns[0].tiles):
+            measured = np.array([
+                signed32(w)
+                for w in tile.read_memory(OUTPUT_BASE, 8)
+            ], dtype=np.float64)
+            exact = basis @ vectors[tile_index]
+            # Q14 coefficients over 8 taps: worst-case rounding error
+            # well under 2 LSBs of the output.
+            assert np.max(np.abs(measured - exact)) < 2.0, tile_index
+
+    return Kernel(
+        name="dct-8point-q14",
+        program=assemble(_PROGRAM_TEXT, "dct"),
+        samples=8,   # one 8-sample vector per tile
+        checker=checker,
+        memory_images=memory_images,
+    )

@@ -1,0 +1,85 @@
+"""Block FIR kernel: the CFIR/PFIR inner loop.
+
+Each tile filters its own sample stream (the data-parallel split the
+paper's 16-tile FIR columns use): coefficients live at address 0,
+precomputed tap windows follow, and each output is one MAC loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.assembler import assemble
+from repro.isa.registers import signed32
+from repro.kernels.base import Kernel
+
+COEFF_BASE = 0
+WINDOW_BASE = 64
+OUTPUT_BASE = 512
+
+
+def _program(taps: int, windows: int):
+    return assemble(f"""
+        .equ taps, {taps}
+        .equ windows, {windows}
+        movi p1, {WINDOW_BASE}
+        movi p2, {OUTPUT_BASE}
+        loop windows
+          movi p0, {COEFF_BASE}
+          movi a0, 0
+          loop taps
+            ld r1, [p0++]
+            ld r2, [p1++]
+            mac a0, r1, r2
+          endloop
+          mov r3, a0
+          st [p2++], r3
+        endloop
+        halt
+    """, "fir")
+
+
+def build_fir_kernel(
+    taps: int = 8,
+    windows: int = 6,
+    seed: int = 0,
+) -> Kernel:
+    """FIR kernel with per-tile random data and an exact oracle."""
+    rng = np.random.default_rng(seed)
+    coefficients = rng.integers(-64, 64, size=taps)
+    tile_windows = {
+        tile: rng.integers(-128, 128, size=(windows, taps))
+        for tile in range(4)
+    }
+    expected = {
+        tile: [int(np.dot(coefficients, window))
+               for window in tile_windows[tile]]
+        for tile in range(4)
+    }
+
+    memory_images = {
+        tile: {
+            COEFF_BASE: [int(c) for c in coefficients],
+            WINDOW_BASE: [int(v) for v in tile_windows[tile].ravel()],
+        }
+        for tile in range(4)
+    }
+
+    def checker(chip, stats) -> None:
+        for tile_index, tile in enumerate(chip.columns[0].tiles):
+            outputs = [
+                signed32(word)
+                for word in tile.read_memory(OUTPUT_BASE, windows)
+            ]
+            assert outputs == expected[tile_index], (
+                f"tile {tile_index}: {outputs} != "
+                f"{expected[tile_index]}"
+            )
+
+    return Kernel(
+        name=f"fir-{taps}tap",
+        program=_program(taps, windows),
+        samples=windows,
+        checker=checker,
+        memory_images=memory_images,
+    )

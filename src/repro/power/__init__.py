@@ -1,0 +1,36 @@
+"""Power methodology (paper Section 4.1) - the evaluation core.
+
+Implements the three-term model
+
+    P_total = P_tile + P_interconnect + P_leakage
+
+with per-column frequency/voltage domains, the U normalized-power
+parameter derivation (Section 4.2), switched-capacitance bus power
+(Section 4.3), and single- versus multiple-voltage comparisons
+(Section 5.1, Table 4, Figure 6).
+"""
+
+from repro.power.interconnect import CommProfile
+from repro.power.model import (
+    ApplicationPower,
+    ComponentPower,
+    ComponentSpec,
+    PowerModel,
+)
+from repro.power.tile_power import (
+    UParameterDerivation,
+    u_reference_mw_per_mhz,
+)
+from repro.power.report import format_application_power, format_component_rows
+
+__all__ = [
+    "CommProfile",
+    "ComponentSpec",
+    "ComponentPower",
+    "ApplicationPower",
+    "PowerModel",
+    "UParameterDerivation",
+    "u_reference_mw_per_mhz",
+    "format_application_power",
+    "format_component_rows",
+]

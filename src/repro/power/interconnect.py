@@ -1,0 +1,60 @@
+"""Communication profiles feeding the interconnect power term.
+
+A :class:`CommProfile` summarizes how a mapped component uses the
+segmented buses: how many 32-bit words it moves per clock cycle
+(aggregated across the vertical buses of all its columns plus the
+horizontal bus), what fraction of the bus length each transfer spans,
+and the bit switching activity.  Section 4.1 step 5 and Section 4.3 of
+the paper reduce interconnect power to exactly this summary:
+``P_interconnect = a * C * V^2 * f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommProfile:
+    """Static communication summary of one mapped component.
+
+    Attributes
+    ----------
+    words_per_cycle:
+        Average 32-bit bus transfers per component clock cycle,
+        aggregated over every bus the component drives.  A column's
+        vertical bus carries at most 8 concurrent words (one per
+        split), so an n-column component can sustain up to ``8n + 8``.
+    span_fraction:
+        Fraction of the 10 mm bus length charged per transfer;
+        segmentation lets neighbour-to-neighbour transfers charge only
+        their own segments (Section 2.3).
+    switching_activity:
+        Fraction of data bits toggling per transfer (0.5 = random).
+    """
+
+    words_per_cycle: float = 0.0
+    span_fraction: float = 1.0
+    switching_activity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.words_per_cycle < 0:
+            raise ValueError("words_per_cycle must be non-negative")
+        if not 0.0 <= self.span_fraction <= 1.0:
+            raise ValueError("span_fraction must lie in [0, 1]")
+        if not 0.0 <= self.switching_activity <= 1.0:
+            raise ValueError("switching_activity must lie in [0, 1]")
+
+    def scaled(self, factor: float) -> "CommProfile":
+        """A profile with ``words_per_cycle`` scaled by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return CommProfile(
+            words_per_cycle=self.words_per_cycle * factor,
+            span_fraction=self.span_fraction,
+            switching_activity=self.switching_activity,
+        )
+
+
+#: A component that never touches the global buses (e.g. the 1-tile SVD).
+NO_COMMUNICATION = CommProfile(words_per_cycle=0.0)

@@ -1,0 +1,79 @@
+"""Text rendering of power results in the paper's Table 4 shape."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.power.model import ApplicationPower, savings_percent
+
+
+def format_component_rows(
+    multi: ApplicationPower,
+    single: ApplicationPower,
+) -> list:
+    """Rows of (name, tiles, MHz, V, mW, single-V mW, % savings)."""
+    rows = []
+    for comp_multi, comp_single in zip(multi.components, single.components):
+        rows.append((
+            comp_multi.name,
+            comp_multi.n_tiles,
+            comp_multi.frequency_mhz,
+            comp_multi.voltage_v,
+            comp_multi.total_mw,
+            comp_single.total_mw,
+            savings_percent(comp_multi.total_mw, comp_single.total_mw),
+        ))
+    rows.append((
+        "TOTAL",
+        multi.n_tiles,
+        float("nan"),
+        float("nan"),
+        multi.total_mw,
+        single.total_mw,
+        savings_percent(multi.total_mw, single.total_mw),
+    ))
+    return rows
+
+
+def format_application_power(
+    multi: ApplicationPower,
+    single: ApplicationPower,
+    header: bool = True,
+) -> str:
+    """Render one application section the way Table 4 prints it."""
+    lines = []
+    if header:
+        lines.append(
+            f"{'Algorithm':<28}{'Tiles':>6}{'MHz':>8}{'V':>6}"
+            f"{'mW':>12}{'1-V mW':>12}{'% saved':>9}"
+        )
+    for name, tiles, mhz, volts, mw, single_mw, saved in (
+        format_component_rows(multi, single)
+    ):
+        mhz_text = f"{mhz:>8.0f}" if mhz == mhz else f"{'':>8}"
+        v_text = f"{volts:>6.1f}" if volts == volts else f"{'':>6}"
+        lines.append(
+            f"{name:<28}{tiles:>6}{mhz_text}{v_text}"
+            f"{mw:>12.2f}{single_mw:>12.2f}{saved:>8.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    widths: Sequence[int] | None = None,
+) -> str:
+    """Minimal fixed-width table renderer shared by the eval drivers."""
+    if widths is None:
+        widths = []
+        for col, head in enumerate(headers):
+            cells = [str(row[col]) for row in rows]
+            widths.append(max(len(head), *(len(c) for c in cells)) + 2)
+    parts = ["".join(h.ljust(w) for h, w in zip(headers, widths))]
+    parts.append("".join("-" * (w - 1) + " " for w in widths))
+    for row in rows:
+        parts.append(
+            "".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(parts)

@@ -1,0 +1,40 @@
+"""Synchronous dataflow substrate (paper Section 2.1).
+
+The paper's applications fit the SDF model of Lee & Messerschmitt
+[21]: actors produce/consume fixed token counts per firing, which
+makes repetition vectors, bounded-memory verification, deadlock
+detection, and fully static schedules decidable.  This subpackage
+provides those analyses plus the mapping step from SDF actors onto
+Synchroscalar columns (frequencies, voltages, rate matching).
+"""
+
+from repro.sdf.graph import Actor, Edge, SdfGraph
+from repro.sdf.analysis import (
+    check_deadlock_free,
+    is_consistent,
+    repetition_vector,
+)
+from repro.sdf.schedule import SdfSchedule, build_schedule
+from repro.sdf.mapping import ColumnAssignment, MappedApplication, SdfMapper
+from repro.sdf.optimizer import (
+    AllocationStep,
+    OptimizationResult,
+    ParallelizationOptimizer,
+)
+
+__all__ = [
+    "Actor",
+    "Edge",
+    "SdfGraph",
+    "repetition_vector",
+    "is_consistent",
+    "check_deadlock_free",
+    "SdfSchedule",
+    "build_schedule",
+    "ColumnAssignment",
+    "MappedApplication",
+    "SdfMapper",
+    "ParallelizationOptimizer",
+    "OptimizationResult",
+    "AllocationStep",
+]

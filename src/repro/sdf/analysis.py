@@ -1,0 +1,134 @@
+"""SDF balance analysis: repetition vectors, consistency, deadlock.
+
+Implements the classical results of Lee & Messerschmitt [21] that the
+paper leans on (Section 2.1): a connected SDF graph has a periodic
+schedule in bounded memory iff the balance equations
+
+    q[src] * produce == q[dst] * consume        (for every edge)
+
+admit a positive integer solution (consistency), and a consistent
+graph is free of deadlock iff symbolically executing one iteration of
+the repetition vector completes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd, lcm
+
+from repro.errors import SdfError
+from repro.sdf.graph import SdfGraph
+
+
+def repetition_vector(graph: SdfGraph) -> dict:
+    """Smallest positive integer firing counts balancing every edge.
+
+    Raises
+    ------
+    SdfError
+        If the graph is empty, not weakly connected, or the balance
+        equations are inconsistent (sample-rate mismatch).
+    """
+    if not graph.actors:
+        raise SdfError(f"{graph.name}: empty graph")
+    if not graph.is_connected():
+        raise SdfError(f"{graph.name}: graph is not weakly connected")
+
+    ratios: dict = {}
+    start = next(iter(graph.actors))
+    ratios[start] = Fraction(1)
+    frontier = [start]
+    adjacency: dict = {name: [] for name in graph.actors}
+    for edge in graph.edges:
+        adjacency[edge.src].append(("out", edge))
+        adjacency[edge.dst].append(("in", edge))
+    while frontier:
+        name = frontier.pop()
+        for direction, edge in adjacency[name]:
+            if direction == "out":
+                other = edge.dst
+                implied = ratios[name] * edge.produce / edge.consume
+            else:
+                other = edge.src
+                implied = ratios[name] * edge.consume / edge.produce
+            if other not in ratios:
+                ratios[other] = implied
+                frontier.append(other)
+
+    for edge in graph.edges:
+        if ratios[edge.src] * edge.produce != ratios[edge.dst] * edge.consume:
+            raise SdfError(
+                f"{graph.name}: inconsistent rates on "
+                f"{edge.src}->{edge.dst}"
+            )
+
+    denominator = lcm(*(r.denominator for r in ratios.values()))
+    counts = {name: int(r * denominator) for name, r in ratios.items()}
+    divisor = gcd(*counts.values())
+    return {name: count // divisor for name, count in counts.items()}
+
+
+def is_consistent(graph: SdfGraph) -> bool:
+    """Whether the balance equations admit a solution."""
+    try:
+        repetition_vector(graph)
+    except SdfError:
+        return False
+    return True
+
+
+def check_deadlock_free(graph: SdfGraph) -> dict:
+    """Symbolically run one iteration; returns final channel depths.
+
+    Raises
+    ------
+    SdfError
+        If no actor can fire before the iteration completes - the
+        graph deadlocks (insufficient initial tokens on some cycle).
+    """
+    repetitions = repetition_vector(graph)
+    remaining = dict(repetitions)
+    tokens = {id(edge): edge.initial_tokens for edge in graph.edges}
+
+    def can_fire(name: str) -> bool:
+        if remaining[name] == 0:
+            return False
+        return all(
+            tokens[id(edge)] >= edge.consume
+            for edge in graph.in_edges(name)
+        )
+
+    progress = True
+    while progress and any(remaining.values()):
+        progress = False
+        for name in graph.actors:
+            while can_fire(name):
+                for edge in graph.in_edges(name):
+                    tokens[id(edge)] -= edge.consume
+                for edge in graph.out_edges(name):
+                    tokens[id(edge)] += edge.produce
+                remaining[name] -= 1
+                progress = True
+    if any(remaining.values()):
+        stuck = sorted(n for n, r in remaining.items() if r)
+        raise SdfError(
+            f"{graph.name}: deadlock - actors {stuck} cannot complete "
+            f"an iteration"
+        )
+    return {
+        (edge.src, edge.dst): tokens[id(edge)] for edge in graph.edges
+    }
+
+
+def iteration_cycles(graph: SdfGraph, repetitions: dict | None = None) -> dict:
+    """Tile-cycles each actor contributes per graph iteration.
+
+    cycles = firings-per-iteration x cycles-per-firing / parallel tiles
+    (work divides across the tiles the actor is spread over).
+    """
+    repetitions = repetitions or repetition_vector(graph)
+    cycles = {}
+    for name, actor in graph.actors.items():
+        per_tile = actor.cycles_per_firing / actor.parallel_tiles
+        cycles[name] = repetitions[name] * per_tile
+    return cycles

@@ -1,0 +1,22 @@
+"""Cycle-level simulation (paper Section 4.5).
+
+The paper adapted an object-oriented SimpleScalar to the Blackfin ISA;
+we drive our own machine model instead.  The simulator advances the
+chip at reference-clock granularity (the bus/DOU rate), stepping each
+column's tiles on its divided clock edges, and gathers the statistics
+the Section 4.1 methodology consumes: cycles per input sample, bus
+words moved, stall and idle cycles.
+"""
+
+from repro.sim.simulator import Simulator, run_single_column
+from repro.sim.stats import ColumnStats, SimulationStats
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Simulator",
+    "run_single_column",
+    "ColumnStats",
+    "SimulationStats",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,116 @@
+"""The multi-clock-domain simulation driver."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.arch.chip import Chip
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.arch.dou import DouProgram
+from repro.isa.program import Program
+from repro.sim.stats import SimulationStats, collect
+from repro.sim.trace import Tracer
+
+DEFAULT_MAX_TICKS = 2_000_000
+
+
+class Simulator:
+    """Runs a chip to completion and snapshots statistics."""
+
+    def __init__(self, chip: Chip, tracer: Tracer | None = None) -> None:
+        self.chip = chip
+        self.tracer = tracer
+
+    def step(self) -> None:
+        """Advance one reference tick (with optional tracing)."""
+        chip = self.chip
+        if self.tracer is None:
+            chip.step_reference_tick()
+            return
+        tick = chip.reference_ticks
+        for column in chip.columns:
+            column.step_bus_clock()
+        if chip.horizontal_dou is not None:
+            chip.horizontal_dou.step()
+        for index, column in enumerate(chip.columns):
+            if chip.clock.ticks(index, tick):
+                pc = column.controller.pc
+                outcome = column.step_tile_clock()
+                self.tracer.record(tick, index, outcome, pc)
+        chip.reference_ticks += 1
+
+    def run(
+        self,
+        max_ticks: int = DEFAULT_MAX_TICKS,
+        until: Callable | None = None,
+        drain_hyperperiods: int = 2,
+    ) -> SimulationStats:
+        """Run until every column halts (or ``until`` fires).
+
+        After all columns halt, the buses are drained for a couple of
+        clock hyperperiods so in-flight words settle into their
+        destination buffers.
+
+        Raises
+        ------
+        SimulationError
+            If the tick budget is exhausted first - almost always a
+            deadlocked communication schedule.
+        """
+        chip = self.chip
+        for _ in range(max_ticks):
+            if until is not None and until(chip):
+                return collect(chip)
+            if chip.all_halted:
+                break
+            self.step()
+        else:
+            raise SimulationError(
+                f"simulation exceeded {max_ticks} reference ticks "
+                f"(deadlocked schedule?)"
+            )
+        for _ in range(drain_hyperperiods * chip.clock.hyperperiod()):
+            self.step()
+        return collect(chip)
+
+
+def run_single_column(
+    program: Program,
+    dou_program: DouProgram | None = None,
+    reference_mhz: float = 100.0,
+    divider: int = 1,
+    memory_images: dict | None = None,
+    input_words: list | None = None,
+    read_primes: dict | None = None,
+    strict_schedules: bool = True,
+    max_ticks: int = DEFAULT_MAX_TICKS,
+    tracer: Tracer | None = None,
+) -> tuple:
+    """Build, load, and run a one-column chip; returns (chip, stats).
+
+    ``memory_images`` maps tile index to ``{base: [words]}`` preloads;
+    ``input_words`` feeds the column's horizontal-in port (available to
+    DOU states that drive from the port position); ``read_primes``
+    maps tile index to words seeded into its read buffer at startup -
+    the architectural equivalent of SDF initial tokens, needed to
+    prime tile-to-tile pipelines under lockstep SIMD issue.
+    """
+    config = ChipConfig(
+        reference_mhz=reference_mhz,
+        columns=(ColumnConfig(divider=divider),),
+        strict_schedules=strict_schedules,
+    )
+    chip = Chip(config, programs=[program], dou_programs=[dou_program])
+    if memory_images:
+        for tile_index, images in memory_images.items():
+            for base, words in images.items():
+                chip.columns[0].tiles[tile_index].load_memory(base, words)
+    if input_words:
+        chip.feed_column(0, input_words)
+    if read_primes:
+        for tile_index, words in read_primes.items():
+            for word in words:
+                chip.columns[0].tiles[tile_index].read_buffer.push(word)
+    stats = Simulator(chip, tracer=tracer).run(max_ticks=max_ticks)
+    return chip, stats

@@ -1,0 +1,106 @@
+"""Simulation statistics consumed by the power methodology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Per-column execution summary."""
+
+    index: int
+    frequency_mhz: float
+    tile_cycles: int
+    issued: int
+    bubbles: int
+    comm_stalls: int
+    control_executed: int
+    branch_stalls: int
+    zorm_nops: int
+    bus_words: int
+    tile_instructions: tuple
+
+    @property
+    def issue_rate(self) -> float:
+        """Issued instructions per tile cycle."""
+        if self.tile_cycles == 0:
+            return 0.0
+        return self.issued / self.tile_cycles
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of tile cycles with no useful instruction."""
+        if self.tile_cycles == 0:
+            return 0.0
+        return (self.bubbles + self.comm_stalls) / self.tile_cycles
+
+    @property
+    def bus_words_per_cycle(self) -> float:
+        """Average vertical-bus words per tile cycle."""
+        if self.tile_cycles == 0:
+            return 0.0
+        return self.bus_words / self.tile_cycles
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Whole-run summary."""
+
+    reference_ticks: int
+    columns: tuple
+    horizontal_words: int
+
+    def column(self, index: int) -> ColumnStats:
+        """Stats of one column."""
+        return self.columns[index]
+
+    @property
+    def total_bus_words(self) -> int:
+        """Words moved on all buses (vertical + horizontal)."""
+        return sum(c.bus_words for c in self.columns) + self.horizontal_words
+
+    def cycles_per_sample(self, column: int, samples: int) -> float:
+        """Tile cycles per processed sample (Sec 4.1, step 6)."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        return self.columns[column].tile_cycles / samples
+
+    def frequency_for_rate(
+        self, column: int, samples: int, sample_rate_msps: float
+    ) -> float:
+        """Required column frequency (MHz) for a target sample rate.
+
+        Section 4.1 step 7: frequency = cycles/sample * input rate.
+        """
+        return self.cycles_per_sample(column, samples) * sample_rate_msps
+
+
+def collect(chip) -> SimulationStats:
+    """Snapshot statistics from a chip."""
+    columns = []
+    for index, column in enumerate(chip.columns):
+        controller = column.controller
+        columns.append(ColumnStats(
+            index=index,
+            frequency_mhz=chip.config.column_frequency_mhz(index),
+            tile_cycles=column.tile_cycles,
+            issued=controller.issued,
+            bubbles=controller.bubbles,
+            comm_stalls=column.comm_stalls,
+            control_executed=controller.control_executed,
+            branch_stalls=controller.branch_stalls,
+            zorm_nops=controller.zorm.total_nops,
+            bus_words=column.dou.words_retired,
+            tile_instructions=tuple(
+                t.instructions_executed for t in column.tiles
+            ),
+        ))
+    horizontal = 0
+    if chip.horizontal_dou is not None:
+        horizontal = chip.horizontal_dou.words_retired
+    return SimulationStats(
+        reference_ticks=chip.reference_ticks,
+        columns=tuple(columns),
+        horizontal_words=horizontal,
+    )

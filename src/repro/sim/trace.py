@@ -1,0 +1,44 @@
+"""Optional execution tracing for debugging schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded per-column, per-tick outcome."""
+
+    tick: int
+    column: int
+    outcome: str
+    pc: int
+
+
+class Tracer:
+    """Bounded in-memory trace of column issue outcomes."""
+
+    def __init__(self, limit: int = 100_000) -> None:
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+        self.events: list = []
+        self.dropped = 0
+
+    def record(self, tick: int, column: int, outcome: str, pc: int) -> None:
+        """Append one event, dropping past the limit."""
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(tick, column, outcome, pc))
+
+    def for_column(self, column: int) -> list:
+        """Events of one column, in order."""
+        return [e for e in self.events if e.column == column]
+
+    def outcomes(self, column: int) -> str:
+        """Compact outcome string: 'i' issued, 's' stalled, '.' bubble."""
+        symbols = {"issued": "i", "stalled": "s", "bubble": "."}
+        return "".join(
+            symbols.get(e.outcome, "?") for e in self.for_column(column)
+        )

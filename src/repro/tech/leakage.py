@@ -1,0 +1,124 @@
+"""Subthreshold leakage model (paper Section 4.4).
+
+The paper computes the per-transistor off current from
+
+    I_off = I_on * exp(-V_th / (n * V_t))
+
+with I_on ~ 0.3 uA per micron of width, V_t = kT/q, n in 1.3..1.5, and
+V_th = 0.332 V, arriving at ~830 pA per (effective) transistor at 80 C.
+Multiplying by 1.8 M transistors per tile gives the nominal 1.5 mA/tile.
+
+The sensitivity study (Figures 9 and 10) sweeps per-tile leakage up to
+59.3 mA/tile, the value implied by Intel's published low-Vt 32.5 nA per
+transistor [41].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+
+BOLTZMANN_OVER_Q = 8.617333262e-5  # V per kelvin
+
+#: Figure 9/10 x-axis: per-tile leakage currents in mA.
+LEAKAGE_SWEEP_MA_PER_TILE = (1.5, 7.4, 14.8, 22.2, 29.6, 37.0, 44.4, 51.8, 59.3)
+
+#: Intel 130 nm per-transistor leakage bounds [41], nA.
+INTEL_HIGH_VT_NA = 0.65
+INTEL_LOW_VT_NA = 32.5
+
+
+def thermal_voltage(temperature_c: float) -> float:
+    """kT/q in volts at the given temperature in Celsius."""
+    return BOLTZMANN_OVER_Q * (temperature_c + 273.15)
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Analytic per-transistor and per-tile leakage, per Section 4.4.
+
+    ``effective_width_um`` is the calibration knob: the paper quotes
+    830 pA per transistor without stating the width it assumed; we
+    solve for the width that reproduces 830 pA under the stated
+    conditions (computed in :meth:`calibrated`).
+    """
+
+    i_on_ua_per_um: float = 0.3
+    ideality_n: float = 1.4
+    v_threshold: float = PAPER_TECHNOLOGY.v_threshold
+    temperature_c: float = PAPER_TECHNOLOGY.leakage_temperature_c
+    effective_width_um: float = 1.0
+
+    def off_current_pa_per_transistor(self) -> float:
+        """I_off for one transistor, in picoamps."""
+        v_t = thermal_voltage(self.temperature_c)
+        i_off_ua = (
+            self.i_on_ua_per_um
+            * self.effective_width_um
+            * math.exp(-self.v_threshold / (self.ideality_n * v_t))
+        )
+        return i_off_ua * 1.0e6  # uA -> pA
+
+    @classmethod
+    def calibrated(
+        cls,
+        target_pa: float = 830.0,
+        tech: TechnologyParameters = PAPER_TECHNOLOGY,
+    ) -> "LeakageModel":
+        """Model with effective width solved to hit ``target_pa``.
+
+        The paper's own arithmetic for 830 pA is not closed-form
+        reproducible (it depends on an unstated average width), so we
+        expose the width explicitly and solve for it.
+        """
+        base = cls(v_threshold=tech.v_threshold,
+                   temperature_c=tech.leakage_temperature_c)
+        unit = base.off_current_pa_per_transistor()
+        return cls(
+            v_threshold=tech.v_threshold,
+            temperature_c=tech.leakage_temperature_c,
+            effective_width_um=target_pa / unit,
+        )
+
+    def tile_leakage_ma(
+        self,
+        transistors_per_tile: float = PAPER_TECHNOLOGY.transistors_per_tile,
+    ) -> float:
+        """Per-tile leakage current in mA."""
+        pa = self.off_current_pa_per_transistor()
+        return pa * 1.0e-12 * transistors_per_tile * 1.0e3
+
+
+def tile_leakage_ma_from_per_transistor(
+    per_transistor_pa: float,
+    transistors_per_tile: float = PAPER_TECHNOLOGY.transistors_per_tile,
+) -> float:
+    """Per-tile mA implied by a per-transistor leakage in pA."""
+    return per_transistor_pa * 1.0e-12 * transistors_per_tile * 1.0e3
+
+
+def per_transistor_na_for_tile_ma(
+    tile_ma: float,
+    transistors_per_tile: float = PAPER_TECHNOLOGY.transistors_per_tile,
+) -> float:
+    """Invert :func:`tile_leakage_ma_from_per_transistor` (result in nA).
+
+    The paper's Figure 10 caption uses this mapping: a 14.8 mA/tile
+    crossover "corresponding to 8.3 nA/transistor".
+    """
+    if transistors_per_tile <= 0:
+        raise ValueError("transistors_per_tile must be positive")
+    return tile_ma * 1.0e-3 / transistors_per_tile * 1.0e9
+
+
+def leakage_power_mw(tile_ma: float, voltage: float, n_tiles: int) -> float:
+    """Static power of ``n_tiles`` powered tiles at ``voltage``.
+
+    Idle (unused) tiles are supply-gated and contribute nothing
+    (Section 2.2), so callers pass only powered tiles.
+    """
+    if n_tiles < 0:
+        raise ValueError("n_tiles must be non-negative")
+    return tile_ma * voltage * n_tiles

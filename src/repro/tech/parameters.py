@@ -1,0 +1,90 @@
+"""Technology parameters (paper Table 1) and architectural constants.
+
+All values come straight from Table 1 of the paper, with sources noted.
+Two internal inconsistencies of the paper are handled explicitly:
+
+* Table 1 lists a maximum voltage of 1.65 V, but Table 4 runs the
+  Viterbi ACS column at 1.7 V.  We keep ``v_max = 1.65`` as the nominal
+  device limit and expose ``v_max_extended`` for the exploration studies
+  (Figures 5, 7, 8 sweep voltages up to 2.12 V).
+* Section 2.4 names a 100 MHz frequency floor, yet Table 4 assigns
+  40/60/70 MHz columns.  We model 100 MHz as the reference-clock floor;
+  columns reach lower rates through their clock dividers.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """130 nm process and Synchroscalar configuration constants.
+
+    Attributes mirror Table 1 plus the architectural constants used by
+    the machine model (bus geometry, column shape, voltage rails).
+    """
+
+    # --- process (Table 1) -------------------------------------------------
+    feature_size_nm: float = 130.0
+    v_min: float = 0.7                    # Blackfin DSP floor [20]
+    v_max: float = 1.65                   # estimated from BPTM [17]
+    v_max_extended: float = 2.12          # Figure 5 sweep upper bound
+    v_threshold: float = 0.332            # BPTM [17]
+    temperature_c: float = 40.0           # assumed (Table 1)
+    leakage_temperature_c: float = 80.0   # assumed for leakage (Sec 4.4)
+    oxide_thickness_nm: float = 3.3       # BPTM [17]
+    oxide_strength_v_per_cm: float = 5.0e6
+    f_max_mhz: float = 600.0              # SPICE at v_max, 20 FO4
+    f_reference_floor_mhz: float = 100.0  # Section 2.4 clock floor
+
+    # --- tile (Table 1 / Section 4.2) --------------------------------------
+    tile_power_mw_per_mhz: float = 0.1    # U at the 1.0 V reference
+    u_reference_voltage: float = 1.0
+    tile_area_mm2: float = 1.82           # Section 4.6
+    transistors_per_tile: float = 1.8e6   # Section 4.4
+    transistor_density_per_mm2: float = 1.0e6
+
+    # --- wires (Table 1 / Section 4.3, "Future of Wires" [16]) -------------
+    wire_capacitance_ff_per_mm: float = 387.0  # semi-global, 0.13 um
+    wire_pitch_um: float = 1.04           # 16 lambda at lambda = 65 nm
+    bus_length_mm: float = 10.0           # chip edge == bus length
+    min_gate_capacitance_ff: float = 1.5  # 1-2 fF minimum-size gate [16]
+    drivers_per_bus: int = 8
+    driver_size_multiple: float = 10.0
+
+    # --- architecture (Sections 2.2-2.3) ------------------------------------
+    tiles_per_column: int = 4
+    bus_width_bits: int = 256
+    bus_splits: int = 8
+    split_width_bits: int = 32
+    dou_states: int = 128
+    dou_counters: int = 4
+
+    # --- voltage rails ------------------------------------------------------
+    # The discrete supply set actually used across Table 4.  Section 2.4:
+    # "we support only a small set of frequencies and voltages".
+    voltage_rails: tuple = (0.7, 0.8, 1.0, 1.1, 1.2, 1.3, 1.5, 1.7)
+    # Extended rails used only by the design-space exploration studies
+    # (Figure 7/8 configurations that exceed the Table 4 envelope).
+    exploration_rails: tuple = (
+        0.7, 0.8, 1.0, 1.1, 1.2, 1.3, 1.5, 1.7, 1.9, 2.1,
+    )
+
+    def __post_init__(self) -> None:
+        if self.v_min >= self.v_max:
+            raise ValueError("v_min must be below v_max")
+        if self.bus_splits * self.split_width_bits != self.bus_width_bits:
+            raise ValueError("bus splits must tile the bus width exactly")
+        if list(self.voltage_rails) != sorted(self.voltage_rails):
+            raise ValueError("voltage_rails must be sorted ascending")
+
+    @property
+    def tile_leakage_ma(self) -> float:
+        """Nominal per-tile leakage current (Section 4.4): ~1.5 mA.
+
+        1.8e6 transistors x 830 pA each = 1.494 mA.
+        """
+        return self.transistors_per_tile * 830.0e-12 * 1.0e3
+
+
+#: The exact configuration evaluated by the paper.
+PAPER_TECHNOLOGY = TechnologyParameters()

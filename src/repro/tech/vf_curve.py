@@ -1,0 +1,174 @@
+"""Voltage-frequency curve (paper Figure 5, Section 4.2).
+
+The paper SPICEs a 20 FO4 critical path against the Berkeley Predictive
+Technology Model, then "captures the graph as a look-up table to
+determine the appropriate voltage of operation of a tile given the
+frequency".  We substitute the SPICE sweep with an anchored, monotone
+lookup table whose quantization behaviour reproduces **every** observed
+(frequency, voltage) pair in the paper:
+
+* Table 4 assignments: 40/60/70 MHz -> 0.7 V, 90/110/120 -> 0.8 V,
+  200 -> 1.0 V, 280 -> 1.1 V, 310/330 -> 1.2 V, 370/380 -> 1.3 V,
+  500 -> 1.5 V, 540 -> 1.7 V;
+* the Section 2 DDC example (mixer 120 MHz @ 0.8 V, integrator
+  200 MHz @ 1.0 V);
+* Table 1 anchors (600 MHz at 1.65 V for a 20 FO4 path).
+
+Interpolation between anchors uses PCHIP, which preserves monotonicity.
+The 15 FO4 variant of Figure 5 scales frequency by 20/15 at equal
+voltage (a k-FO4 path is 20/k times faster than a 20 FO4 path).
+"""
+
+from __future__ import annotations
+
+
+from typing import Iterable, Sequence
+
+from scipy.interpolate import PchipInterpolator
+from scipy.optimize import brentq
+
+from repro.errors import FrequencyRangeError
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+
+#: (voltage V, max frequency MHz) anchors for the reference 20 FO4 path.
+#: Chosen so the discrete-rail quantization matches every paper pair;
+#: see the module docstring and tests/tech/test_vf_curve.py.
+ANCHORS_20FO4 = (
+    (0.60, 30.0),
+    (0.70, 80.0),
+    (0.80, 150.0),
+    (0.90, 185.0),
+    (1.00, 230.0),
+    (1.10, 300.0),
+    (1.20, 350.0),
+    (1.30, 420.0),
+    (1.40, 465.0),
+    (1.50, 520.0),
+    (1.65, 600.0),
+    (1.80, 680.0),
+    (2.00, 780.0),
+    (2.12, 840.0),
+)
+
+
+class VoltageFrequencyCurve:
+    """Monotone mapping between supply voltage and maximum frequency.
+
+    Parameters
+    ----------
+    anchors:
+        ``(voltage, f_max_mhz)`` pairs, strictly increasing in both
+        coordinates. Defaults to the calibrated 20 FO4 table.
+    fo4_depth:
+        Critical-path depth in FO4 delays. Frequencies scale by
+        ``reference_fo4 / fo4_depth`` relative to the anchor table.
+    reference_fo4:
+        The depth at which the anchors were taken (20, per the paper).
+    """
+
+    def __init__(
+        self,
+        anchors: Sequence[tuple] = ANCHORS_20FO4,
+        fo4_depth: float = 20.0,
+        reference_fo4: float = 20.0,
+    ) -> None:
+        if len(anchors) < 2:
+            raise ValueError("need at least two anchors")
+        voltages = [v for v, _ in anchors]
+        freqs = [f for _, f in anchors]
+        if voltages != sorted(voltages) or len(set(voltages)) != len(voltages):
+            raise ValueError("anchor voltages must be strictly increasing")
+        if freqs != sorted(freqs) or len(set(freqs)) != len(freqs):
+            raise ValueError("anchor frequencies must be strictly increasing")
+        if fo4_depth <= 0:
+            raise ValueError("fo4_depth must be positive")
+        self._voltages = tuple(voltages)
+        self._freqs = tuple(freqs)
+        self.fo4_depth = float(fo4_depth)
+        self._speedup = reference_fo4 / float(fo4_depth)
+        self._interp = PchipInterpolator(voltages, freqs)
+
+    @classmethod
+    def from_technology(
+        cls,
+        tech: TechnologyParameters = PAPER_TECHNOLOGY,
+        fo4_depth: float = 20.0,
+    ) -> "VoltageFrequencyCurve":
+        """Build the paper's curve for a given critical-path depth."""
+        return cls(ANCHORS_20FO4, fo4_depth=fo4_depth)
+
+    @property
+    def v_floor(self) -> float:
+        """Lowest modelled voltage."""
+        return self._voltages[0]
+
+    @property
+    def v_ceiling(self) -> float:
+        """Highest modelled voltage."""
+        return self._voltages[-1]
+
+    def max_frequency_mhz(self, voltage: float) -> float:
+        """Maximum clock rate sustainable at ``voltage``.
+
+        Raises
+        ------
+        FrequencyRangeError
+            If ``voltage`` lies outside the modelled range.
+        """
+        if not self.v_floor <= voltage <= self.v_ceiling:
+            raise FrequencyRangeError(
+                f"voltage {voltage} V outside modelled range "
+                f"[{self.v_floor}, {self.v_ceiling}] V"
+            )
+        return float(self._interp(voltage)) * self._speedup
+
+    def min_voltage_for(self, frequency_mhz: float) -> float:
+        """Continuous minimum supply voltage supporting ``frequency_mhz``.
+
+        This is the inverse of :meth:`max_frequency_mhz`, computed by
+        bisection on the forward curve so that
+        ``max_frequency_mhz(min_voltage_for(f)) >= f`` always holds.
+        """
+        if frequency_mhz <= 0:
+            raise FrequencyRangeError("frequency must be positive")
+        f_lo = self.max_frequency_mhz(self.v_floor)
+        f_hi = self.max_frequency_mhz(self.v_ceiling)
+        if frequency_mhz <= f_lo:
+            return self.v_floor
+        if frequency_mhz > f_hi:
+            raise FrequencyRangeError(
+                f"{frequency_mhz} MHz exceeds the {f_hi:.0f} MHz ceiling "
+                f"at {self.v_ceiling} V"
+            )
+        root = brentq(
+            lambda v: self.max_frequency_mhz(v) - frequency_mhz,
+            self.v_floor,
+            self.v_ceiling,
+        )
+        return float(root)
+
+    def quantize_voltage(
+        self,
+        frequency_mhz: float,
+        rails: Iterable[float] | None = None,
+    ) -> float:
+        """Lowest discrete voltage rail that supports ``frequency_mhz``.
+
+        ``rails`` defaults to the paper's Table 4 supply set.  This is
+        the operation the paper performs with its SPICE lookup table
+        (Section 4.1, step 8).
+        """
+        if rails is None:
+            rails = PAPER_TECHNOLOGY.voltage_rails
+        if frequency_mhz <= 0:
+            raise FrequencyRangeError("frequency must be positive")
+        for rail in sorted(rails):
+            if self.max_frequency_mhz(rail) >= frequency_mhz:
+                return rail
+        raise FrequencyRangeError(
+            f"no rail in {sorted(rails)} supports {frequency_mhz} MHz"
+        )
+
+    def sweep(self, voltages: Iterable[float]) -> list:
+        """Evaluate the curve over many voltages (Figure 5 series)."""
+        return [(v, self.max_frequency_mhz(v)) for v in voltages]

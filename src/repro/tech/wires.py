@@ -1,0 +1,113 @@
+"""Interconnect capacitance, energy, and area model (paper Section 4.3).
+
+Following the paper, the bus is modelled by its wire capacitance to
+first order: a semi-global wire in 130 nm is 387 fF/mm, the bus spans
+the 10 mm chip edge, and driver/segmenter parasitics (about 160 fF per
+8-driver bus against 3870 fF of wire) are ignored.
+
+Bus area, needed for Figure 8's power-area trade-off, is wire count
+times pitch times run length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+
+
+@dataclass(frozen=True)
+class BusGeometry:
+    """Physical shape of one Synchroscalar bus."""
+
+    width_bits: int = PAPER_TECHNOLOGY.bus_width_bits
+    n_splits: int = PAPER_TECHNOLOGY.bus_splits
+    length_mm: float = PAPER_TECHNOLOGY.bus_length_mm
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0 or self.n_splits <= 0:
+            raise ValueError("bus width and split count must be positive")
+        if self.width_bits % self.n_splits:
+            raise ValueError("splits must divide the bus width evenly")
+
+    @property
+    def split_width_bits(self) -> int:
+        """Width of one separable split (32 bits in the paper)."""
+        return self.width_bits // self.n_splits
+
+
+class WireModel:
+    """Wire capacitance, per-transfer energy, and bus area."""
+
+    def __init__(self, tech: TechnologyParameters = PAPER_TECHNOLOGY) -> None:
+        self.tech = tech
+
+    def wire_capacitance_ff(self, length_mm: float) -> float:
+        """Capacitance of a single wire of the given run length."""
+        if length_mm < 0:
+            raise ValueError("length must be non-negative")
+        return self.tech.wire_capacitance_ff_per_mm * length_mm
+
+    def driver_capacitance_ff(self) -> float:
+        """Total driver capacitance on one wire (shown negligible)."""
+        return (
+            self.tech.drivers_per_bus
+            * self.tech.driver_size_multiple
+            * self.tech.min_gate_capacitance_ff
+        )
+
+    def word_energy_pj(
+        self,
+        voltage: float,
+        bits: int = 32,
+        span_fraction: float = 1.0,
+        switching_activity: float = 0.5,
+        geometry: BusGeometry | None = None,
+    ) -> float:
+        """Energy to move one ``bits``-wide word across the bus.
+
+        ``span_fraction`` is the fraction of the bus length actually
+        traversed: segmentation means a transfer between neighbouring
+        tiles only charges the wire of the segments it crosses
+        (Section 2.3).  ``switching_activity`` is the fraction of bits
+        that toggle (0.5 for random data).
+        """
+        if not 0.0 <= span_fraction <= 1.0:
+            raise ValueError("span_fraction must be within [0, 1]")
+        if not 0.0 <= switching_activity <= 1.0:
+            raise ValueError("switching_activity must be within [0, 1]")
+        geometry = geometry or BusGeometry()
+        c_wire_ff = self.wire_capacitance_ff(geometry.length_mm * span_fraction)
+        c_total_pf = bits * c_wire_ff / 1000.0
+        return c_total_pf * switching_activity * voltage * voltage
+
+    def bus_power_mw(
+        self,
+        words_per_cycle: float,
+        frequency_mhz: float,
+        voltage: float,
+        span_fraction: float = 1.0,
+        switching_activity: float = 0.5,
+        geometry: BusGeometry | None = None,
+    ) -> float:
+        """Average switched-capacitance power of a communication pattern.
+
+        Implements the paper's ``P_interconnect = a * C * V^2 * f`` with
+        ``a * C`` expressed as words-per-cycle times capacitance-per-word.
+        """
+        if words_per_cycle < 0 or frequency_mhz < 0:
+            raise ValueError("words_per_cycle and frequency must be >= 0")
+        energy_pj = self.word_energy_pj(
+            voltage,
+            bits=(geometry or BusGeometry()).split_width_bits,
+            span_fraction=span_fraction,
+            switching_activity=switching_activity,
+            geometry=geometry,
+        )
+        return words_per_cycle * energy_pj * frequency_mhz / 1000.0
+
+    def bus_area_mm2(self, geometry: BusGeometry | None = None) -> float:
+        """Silicon area of one bus run: wires x pitch x length."""
+        geometry = geometry or BusGeometry()
+        pitch_mm = self.tech.wire_pitch_um / 1000.0
+        return geometry.width_bits * pitch_mm * geometry.length_mm

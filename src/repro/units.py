@@ -1,0 +1,50 @@
+"""Unit conventions used throughout the package.
+
+The paper reports frequencies in MHz, power in mW, supply voltages in
+volts, currents in mA, capacitance in fF/pF, and area in um^2 or mm^2.
+We follow the same conventions so model code reads like the paper:
+
+* frequency        -- MHz
+* power            -- mW
+* energy           -- pJ
+* supply voltage   -- V
+* current          -- mA
+* capacitance      -- fF (wires) and pF (aggregates)
+* area             -- um^2 for components, mm^2 for tiles/chips
+* data rate        -- MS/s (mega-samples per second) or Mbps
+
+One identity is used constantly and is worth stating once:
+``power_mw = energy_pj * frequency_mhz / 1000`` because
+pJ * MHz = 1e-12 J * 1e6 1/s = 1e-6 W = 1e-3 mW.
+"""
+
+MHZ_PER_GHZ = 1000.0
+FF_PER_PF = 1000.0
+UM2_PER_MM2 = 1.0e6
+MW_PER_W = 1000.0
+PA_PER_MA = 1.0e9
+NA_PER_MA = 1.0e6
+
+
+def pj_mhz_to_mw(energy_pj: float, frequency_mhz: float) -> float:
+    """Convert an energy-per-cycle at a clock rate into milliwatts."""
+    return energy_pj * frequency_mhz / 1000.0
+
+
+def mw_to_nw_per_sample(power_mw: float, samples_per_second: float) -> float:
+    """Energy efficiency in nanowatt-seconds per sample (nJ/sample).
+
+    The paper's Section 5.5 expresses efficiency as "nW/sample", meaning
+    power divided by sample rate; e.g. 2.43 W at 64e6 samples/s is
+    38.0 nW/sample.
+    """
+    if samples_per_second <= 0:
+        raise ValueError("samples_per_second must be positive")
+    return power_mw * 1.0e6 / samples_per_second
+
+
+def scale_factor(from_nm: float, to_nm: float) -> float:
+    """Quadratic geometry scale factor between process nodes."""
+    if from_nm <= 0 or to_nm <= 0:
+        raise ValueError("process nodes must be positive")
+    return (to_nm / from_nm) ** 2

@@ -1,0 +1,120 @@
+"""Comparator platforms (paper Table 3).
+
+Every non-Synchroscalar row of Table 3 is a published datasheet or
+ISSCC figure in the paper too; this module is the registry of those
+constants plus the throughput-normalized efficiency arithmetic of
+Section 5.5 (e.g. DDC on Synchroscalar: 2.43 W / 64e6 samples/s =
+38.0 nW/sample versus Blackfin's 2478 nW/sample - "a factor of 60").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import mw_to_nw_per_sample
+
+
+@dataclass(frozen=True)
+class PlatformFigure:
+    """One comparator row of Table 3."""
+
+    application: str
+    platform: str
+    kind: str                      # "programmable", "asic", "fpga", "soc"
+    process_um: float | None
+    area_mm2: float | None
+    power_mw: float
+    voltage: str
+    samples_per_second: float | None
+    notes: str = ""
+
+    @property
+    def nw_per_sample(self) -> float | None:
+        """Power per delivered sample (None if rate unknown)."""
+        if not self.samples_per_second:
+            return None
+        return mw_to_nw_per_sample(self.power_mw, self.samples_per_second)
+
+
+#: Table 3 comparator rows, keyed by application.
+TABLE3_PLATFORMS = {
+    "DDC": (
+        PlatformFigure("DDC", "Intel Xeon 2.8 GHz", "programmable",
+                       0.13, 146.0, 71000.0, "1.45", 19.0e6,
+                       "1/3 of the required 64 MS/s"),
+        PlatformFigure("DDC", "Blackfin 600 MHz", "programmable",
+                       0.13, 2.5, 280.0, "1.2", 112.6e3,
+                       "1/500 of the required rate"),
+        PlatformFigure("DDC", "Graychip GC4014", "asic",
+                       None, None, 250.0, "3.3", 64.0e6,
+                       "full 64 MS/s"),
+    ),
+    "Stereo Vision": (
+        PlatformFigure("Stereo Vision", "Intel Xeon 2.8 GHz",
+                       "programmable", 0.13, 146.0, 71000.0, "1.45", 4.96,
+                       "1/2 of the required 10 f/s"),
+        PlatformFigure("Stereo Vision", "Blackfin 600 MHz",
+                       "programmable", 0.13, 2.5, 280.0, "1.2", 1.46,
+                       "1/7 of the required rate"),
+        PlatformFigure("Stereo Vision", "FPGA [5]", "fpga",
+                       None, None, 20000.0, "?", 30.0,
+                       "320x240, not stereo, no SVD (15-25 W)"),
+    ),
+    "802.11a": (
+        PlatformFigure("802.11a", "Atheros", "asic",
+                       0.25, 34.68, 203.0, "2.5", 54.0e6),
+        PlatformFigure("802.11a", "Icefyre", "asic",
+                       0.18, None, 720.0, "?", 54.0e6,
+                       "chipset including ADC"),
+        PlatformFigure("802.11a", "IMEC", "asic",
+                       0.18, 20.8, 146.0, "1.8", 54.0e6,
+                       "area includes ADC/DAC"),
+        PlatformFigure("802.11a", "NEC", "asic",
+                       0.18, 119.0, 474.0, "1.5", 54.0e6,
+                       "MAC+PHY, core power only"),
+        PlatformFigure("802.11a", "D. Su", "asic",
+                       0.25, 22.0, 121.5, "2.7", 54.0e6,
+                       "PHY layer only"),
+        PlatformFigure("802.11a", "Blackfin 600 MHz", "programmable",
+                       0.13, 2.5, 280.0, "1.2", 556.0e3,
+                       "556 kbps only"),
+    ),
+    "MPEG4 QCIF": (
+        PlatformFigure("MPEG4 QCIF", "Amphion CS6701", "asic",
+                       0.18, None, 15.0, "?", 15.0,
+                       "application-specific core, QCIF @ 15 f/s"),
+        PlatformFigure("MPEG4 QCIF", "Philips", "asic",
+                       0.18, 20.0, 30.0, "1.8", 15.0,
+                       "ASIP, QCIF @ 15 f/s"),
+        PlatformFigure("MPEG4 QCIF", "Blackfin 600 MHz", "programmable",
+                       0.13, 2.5, 280.0, "1.2", 15.0,
+                       "QCIF @ 15 f/s"),
+    ),
+    "MPEG4 CIF": (
+        PlatformFigure("MPEG4 CIF", "Toshiba", "soc",
+                       0.13, 43.0, 160.0, "1.5", 15.0,
+                       "SOC, CIF @ 15 f/s"),
+    ),
+}
+
+
+def efficiency_nw_per_sample(power_mw: float,
+                             samples_per_second: float) -> float:
+    """Section 5.5's metric: power normalized by delivered rate."""
+    return mw_to_nw_per_sample(power_mw, samples_per_second)
+
+
+def efficiency_ratio(
+    synchroscalar_mw: float,
+    synchroscalar_rate: float,
+    other: PlatformFigure,
+) -> float | None:
+    """other's nW/sample divided by Synchroscalar's (>1 = we win).
+
+    None when the comparator's delivered rate is unknown.
+    """
+    ours = efficiency_nw_per_sample(synchroscalar_mw, synchroscalar_rate)
+    theirs = other.nw_per_sample
+    if theirs is None:
+        return None
+    return theirs / ours

@@ -1,0 +1,59 @@
+"""Bridge measured kernel runs into the power methodology.
+
+The Table 4 communication profiles in :mod:`repro.workloads.configs`
+are calibrated analytically; this module derives the same quantities
+from cycle-level simulation (Section 4.1 steps 5-6 done by
+measurement), so the two routes can be cross-checked.
+"""
+
+from __future__ import annotations
+
+from repro.power.interconnect import CommProfile
+from repro.kernels import (
+    build_acs_kernel,
+    build_cic_chain_kernel,
+    build_dct_kernel,
+    build_fir_kernel,
+    build_mixer_kernel,
+    run_kernel,
+)
+from repro.kernels.base import KernelRun
+
+
+def comm_profile_from_run(
+    run: KernelRun,
+    span_fraction: float = 1.0,
+    switching_activity: float = 0.5,
+) -> CommProfile:
+    """A :class:`CommProfile` from a kernel's measured bus traffic."""
+    return CommProfile(
+        words_per_cycle=run.bus_words_per_cycle,
+        span_fraction=span_fraction,
+        switching_activity=switching_activity,
+    )
+
+
+def measured_kernel_table() -> dict:
+    """Run every bundled kernel; return its measured summary.
+
+    Keys are kernel names; values carry the quantities Section 4.1
+    consumes: cycles/sample, issued instructions, and bus words per
+    cycle.
+    """
+    builders = (
+        build_fir_kernel,
+        build_mixer_kernel,
+        build_cic_chain_kernel,
+        build_acs_kernel,
+        build_dct_kernel,
+    )
+    table = {}
+    for builder in builders:
+        kernel = builder()
+        run = run_kernel(kernel)
+        table[kernel.name] = {
+            "cycles_per_sample": run.cycles_per_sample,
+            "issued": run.issued,
+            "bus_words_per_cycle": run.bus_words_per_cycle,
+        }
+    return table

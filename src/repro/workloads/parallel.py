@@ -1,0 +1,226 @@
+"""Parallelization models behind Figures 7, 9, and 10.
+
+Each application component generalizes its Table 4 anchor across tile
+counts with an efficiency model: spreading work over n tiles divides
+the cycles by n but inflates them by (1 + sigma*(n-1)) for the extra
+SIMD padding and communication scheduling the paper describes, so
+
+    f(n) = f(n*) * (n*/n) * (1 + sigma*(n-1)) / (1 + sigma*(n*-1)).
+
+Communication scales the opposite way: words per sample grow with the
+tile count (more boundaries to cross), while each transfer's bus span
+shrinks as the component spreads over more columns whose segments
+localize traffic.  Anchor configurations reproduce Table 4 exactly by
+construction; alternative tile counts come from the figures' x-axis
+labels (DDC 14/26/50, SV 5/9/17, 802.11a 12/20/36, MPEG4 8/12/20/36).
+
+Exploration configurations may exceed the Table 4 voltage envelope;
+they quantize on the extended rail set (up to 2.1 V), matching
+Figure 5's sweep beyond the nominal 1.65 V maximum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.interconnect import CommProfile
+from repro.power.model import ComponentSpec
+from repro.tech.parameters import PAPER_TECHNOLOGY
+
+TILES_PER_COLUMN = PAPER_TECHNOLOGY.tiles_per_column
+
+
+@dataclass(frozen=True)
+class ParallelComponent:
+    """One component's scaling law around its Table 4 anchor."""
+
+    name: str
+    anchor_tiles: int
+    anchor_frequency_mhz: float
+    anchor_comm: CommProfile = CommProfile()
+    sigma: float = 0.06
+    span_floor: float = 0.2
+
+    def efficiency_factor(self, n_tiles: int) -> float:
+        """Cycle inflation 1 + sigma*(n-1)."""
+        if n_tiles < 1:
+            raise ConfigurationError(f"{self.name}: n_tiles must be >= 1")
+        return 1.0 + self.sigma * (n_tiles - 1)
+
+    def frequency_at(self, n_tiles: int) -> float:
+        """Required per-tile clock when spread over ``n_tiles``."""
+        anchor_eff = self.efficiency_factor(self.anchor_tiles)
+        return (
+            self.anchor_frequency_mhz
+            * (self.anchor_tiles / n_tiles)
+            * self.efficiency_factor(n_tiles) / anchor_eff
+        )
+
+    def _columns(self, n_tiles: int) -> int:
+        return math.ceil(n_tiles / TILES_PER_COLUMN)
+
+    def comm_at(self, n_tiles: int) -> CommProfile:
+        """Communication profile at a tile count.
+
+        Words per *sample* scale with (n-1) boundary crossings; words
+        per *cycle* therefore also scale with f(n*)/f(n).  The span of
+        each transfer shrinks as columns multiply (segmented buses
+        localize traffic), floored at ``span_floor``.
+        """
+        anchor_words = self.anchor_comm.words_per_cycle
+        if anchor_words == 0.0 or n_tiles == 1:
+            return CommProfile(0.0)
+        denominator = max(self.anchor_tiles - 1, 1)
+        growth = (n_tiles - 1) / denominator
+        rate_factor = self.anchor_frequency_mhz / self.frequency_at(n_tiles)
+        words = anchor_words * growth * rate_factor
+        anchor_cols = self._columns(self.anchor_tiles)
+        cols = self._columns(n_tiles)
+        span = self.anchor_comm.span_fraction * (anchor_cols + 1) / (cols + 1)
+        span = min(1.0, max(self.span_floor, span))
+        return CommProfile(
+            words_per_cycle=words,
+            span_fraction=span,
+            switching_activity=self.anchor_comm.switching_activity,
+        )
+
+    def spec_at(self, n_tiles: int) -> ComponentSpec:
+        """A :class:`ComponentSpec` at an alternative tile count."""
+        return ComponentSpec(
+            name=self.name,
+            n_tiles=n_tiles,
+            frequency_mhz=self.frequency_at(n_tiles),
+            comm=(self.anchor_comm if n_tiles == self.anchor_tiles
+                  else self.comm_at(n_tiles)),
+        )
+
+
+@dataclass(frozen=True)
+class ParallelStudy:
+    """An application's component models plus its figure allocations."""
+
+    name: str
+    components: tuple
+    allocations: dict  # total tiles -> {component name: tiles}
+
+    def __post_init__(self) -> None:
+        names = {c.name for c in self.components}
+        for total, table in self.allocations.items():
+            if set(table) != names:
+                raise ConfigurationError(
+                    f"{self.name}@{total}: allocation names mismatch"
+                )
+            if sum(table.values()) != total:
+                raise ConfigurationError(
+                    f"{self.name}@{total}: allocation sums to "
+                    f"{sum(table.values())}"
+                )
+
+    @property
+    def tile_points(self) -> list:
+        """The figure's x-axis tile counts, ascending."""
+        return sorted(self.allocations)
+
+    def component(self, name: str) -> ParallelComponent:
+        """Look up one component model."""
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(name)
+
+    def configuration(self, total_tiles: int) -> list:
+        """Component specs for one of the study's tile counts."""
+        try:
+            table = self.allocations[total_tiles]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: no {total_tiles}-tile allocation; "
+                f"have {self.tile_points}"
+            ) from None
+        return [
+            self.component(name).spec_at(tiles)
+            for name, tiles in table.items()
+        ]
+
+
+def parallel_studies() -> dict:
+    """The four applications' Figure 7/9/10 studies."""
+    ddc = ParallelStudy(
+        name="DDC",
+        components=(
+            ParallelComponent("Digital Mixer", 8, 120.0,
+                              CommProfile(1.112)),
+            ParallelComponent("CIC Integrator", 8, 200.0,
+                              CommProfile(5.620)),
+            ParallelComponent("CIC Comb", 2, 40.0, CommProfile(10.59)),
+            ParallelComponent("CFIR", 16, 380.0, CommProfile(0.3174)),
+            ParallelComponent("PFIR", 16, 370.0, CommProfile(0.006)),
+        ),
+        allocations={
+            14: {"Digital Mixer": 1, "CIC Integrator": 2, "CIC Comb": 1,
+                 "CFIR": 5, "PFIR": 5},
+            26: {"Digital Mixer": 4, "CIC Integrator": 4, "CIC Comb": 2,
+                 "CFIR": 8, "PFIR": 8},
+            50: {"Digital Mixer": 8, "CIC Integrator": 8, "CIC Comb": 2,
+                 "CFIR": 16, "PFIR": 16},
+        },
+    )
+    stereo = ParallelStudy(
+        name="SV",
+        components=(
+            ParallelComponent("SVD", 1, 500.0, CommProfile(0.0)),
+            ParallelComponent("PFE", 16, 310.0, CommProfile(0.0)),
+        ),
+        allocations={
+            5: {"SVD": 1, "PFE": 4},
+            9: {"SVD": 1, "PFE": 8},
+            17: {"SVD": 1, "PFE": 16},
+        },
+    )
+    wlan = ParallelStudy(
+        name="802.11a",
+        components=(
+            ParallelComponent("FFT", 2, 90.0, CommProfile(0.7935)),
+            ParallelComponent("De-mod/De-Interleave", 1, 60.0,
+                              CommProfile(0.3977)),
+            # The ACS path-metric shuffle is global (every state needs
+            # metrics from across the trellis), so its transfers span
+            # the full bus no matter how many columns it occupies -
+            # this is exactly the diminishing-returns mechanism the
+            # paper describes for 802.11a (Section 5.2).
+            ParallelComponent("Viterbi ACS", 16, 540.0,
+                              CommProfile(13.56), span_floor=1.0),
+            ParallelComponent("Viterbi Traceback", 1, 330.0,
+                              CommProfile(0.3997)),
+        ),
+        allocations={
+            12: {"FFT": 1, "De-mod/De-Interleave": 1, "Viterbi ACS": 9,
+                 "Viterbi Traceback": 1},
+            20: {"FFT": 2, "De-mod/De-Interleave": 1, "Viterbi ACS": 16,
+                 "Viterbi Traceback": 1},
+            36: {"FFT": 2, "De-mod/De-Interleave": 2, "Viterbi ACS": 30,
+                 "Viterbi Traceback": 2},
+        },
+    )
+    # Motion estimation parallelizes near-linearly (independent
+    # macroblocks; sigma 0.005), which is what lets the 36-tile CIF
+    # configuration reach the 0.7 V floor and produce Figure 10's
+    # leakage crossover against the 12-tile point.
+    mpeg4 = ParallelStudy(
+        name="MPEG4",
+        components=(
+            ParallelComponent("Motion Estimation", 8, 280.0,
+                              CommProfile(3.195), sigma=0.005),
+            ParallelComponent("DCT/Quant/IQ/IDCT", 8, 60.0,
+                              CommProfile(0.0), sigma=0.04),
+        ),
+        allocations={
+            8: {"Motion Estimation": 6, "DCT/Quant/IQ/IDCT": 2},
+            12: {"Motion Estimation": 8, "DCT/Quant/IQ/IDCT": 4},
+            20: {"Motion Estimation": 16, "DCT/Quant/IQ/IDCT": 4},
+            36: {"Motion Estimation": 32, "DCT/Quant/IQ/IDCT": 4},
+        },
+    )
+    return {"ddc": ddc, "stereo": stereo, "wlan": wlan, "mpeg4": mpeg4}

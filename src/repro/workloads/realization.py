@@ -1,0 +1,138 @@
+"""Integer-divider realization cost (beyond the paper).
+
+Section 2 generates every column clock from one reference PLL through
+per-column clock dividers.  Table 4, however, assigns frequency sets
+like {120, 200, 40, 380, 370} that no single reference divides into
+exactly; a real chip must run each column at the smallest achievable
+clock at or above its requirement and throttle the residue with ZORM,
+and the supply rail must sustain that *actual* clock.
+
+This module quantifies the resulting power overhead and searches for
+the reference frequency that minimizes it - the analysis a
+Synchroscalar clock-tree designer would have run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError, FrequencyRangeError
+from repro.power.model import ComponentSpec, PowerModel
+
+
+@dataclass(frozen=True)
+class RealizedComponent:
+    """One component as an integer-divided column actually runs it."""
+
+    name: str
+    requested_mhz: float
+    divider: int
+    actual_mhz: float
+    voltage_v: float
+    ideal_mw: float
+    realized_mw: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Extra power paid for the divider granularity."""
+        if self.ideal_mw == 0:
+            return 0.0
+        return self.realized_mw / self.ideal_mw - 1.0
+
+
+@dataclass(frozen=True)
+class RealizationResult:
+    """A whole application realized from one reference clock."""
+
+    reference_mhz: float
+    components: tuple
+    ideal_mw: float
+    realized_mw: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Application-level realization overhead."""
+        return self.realized_mw / self.ideal_mw - 1.0
+
+
+def realize_spec(
+    spec: ComponentSpec, reference_mhz: float, model: PowerModel
+) -> RealizedComponent:
+    """Run one component at its integer-divided clock.
+
+    The divider is the largest one whose divided clock still meets the
+    requested frequency; communication density rescales so words per
+    second are preserved (the workload's traffic does not change, only
+    the clock carrying it).
+    """
+    if reference_mhz < spec.frequency_mhz:
+        raise ConfigurationError(
+            f"{spec.name}: reference {reference_mhz} MHz below the "
+            f"required {spec.frequency_mhz} MHz"
+        )
+    divider = max(1, int(reference_mhz // spec.frequency_mhz))
+    actual = reference_mhz / divider
+    scaled_comm = spec.comm.scaled(
+        spec.frequency_mhz / actual if actual > 0 else 1.0
+    )
+    realized_spec = replace(
+        spec, frequency_mhz=actual, comm=scaled_comm, voltage_v=None
+    )
+    ideal = model.component_power(spec)
+    realized = model.component_power(realized_spec)
+    return RealizedComponent(
+        name=spec.name,
+        requested_mhz=spec.frequency_mhz,
+        divider=divider,
+        actual_mhz=actual,
+        voltage_v=realized.voltage_v,
+        ideal_mw=ideal.total_mw,
+        realized_mw=realized.total_mw,
+    )
+
+
+def realize_application(
+    specs: list, reference_mhz: float, model: PowerModel | None = None
+) -> RealizationResult:
+    """Realize every component from one reference clock."""
+    model = model or PowerModel()
+    components = [
+        realize_spec(spec, reference_mhz, model) for spec in specs
+    ]
+    return RealizationResult(
+        reference_mhz=reference_mhz,
+        components=tuple(components),
+        ideal_mw=sum(c.ideal_mw for c in components),
+        realized_mw=sum(c.realized_mw for c in components),
+    )
+
+
+def best_reference(
+    specs: list,
+    candidates: list | None = None,
+    model: PowerModel | None = None,
+) -> RealizationResult:
+    """The candidate reference frequency with the least overhead.
+
+    Default candidates sweep from the application's maximum component
+    frequency up to the V-f curve ceiling in 10 MHz steps.
+    """
+    model = model or PowerModel()
+    f_max = max(spec.frequency_mhz for spec in specs)
+    if candidates is None:
+        ceiling = model.curve.max_frequency_mhz(max(model.rails))
+        candidates = [
+            f_max + 10.0 * step
+            for step in range(int((ceiling - f_max) / 10.0) + 1)
+        ]
+    best = None
+    for reference in candidates:
+        try:
+            result = realize_application(specs, reference, model)
+        except (ConfigurationError, FrequencyRangeError):
+            continue
+        if best is None or result.realized_mw < best.realized_mw:
+            best = result
+    if best is None:
+        raise ConfigurationError("no feasible reference frequency")
+    return best

@@ -1,0 +1,161 @@
+"""Convolutional coding, puncturing, Viterbi decoding, scrambling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.wlan.convcode import (
+    ConvolutionalEncoder,
+    depuncture,
+    puncture,
+)
+from repro.apps.wlan.scrambler import Scrambler, pilot_polarity
+from repro.apps.wlan.viterbi import ViterbiDecoder
+from repro.errors import ConfigurationError
+
+
+class TestEncoder:
+    def test_rate_and_termination(self):
+        encoder = ConvolutionalEncoder()
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        coded = encoder.encode(bits, terminate=True)
+        assert len(coded) == 2 * (3 + encoder.tail_bits)
+        unterminated = encoder.encode(bits, terminate=False)
+        assert len(unterminated) == 6
+
+    def test_known_prefix(self):
+        """First input bit 1: outputs parity(g0 & 1), parity(g1 & 1)."""
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode(np.array([1], dtype=np.uint8),
+                               terminate=False)
+        assert list(coded) == [1, 1]
+
+    def test_linearity_over_gf2(self, rng):
+        """The code is linear: enc(a ^ b) == enc(a) ^ enc(b)."""
+        encoder = ConvolutionalEncoder()
+        a = rng.integers(0, 2, 40).astype(np.uint8)
+        b = rng.integers(0, 2, 40).astype(np.uint8)
+        lhs = encoder.encode((a ^ b), terminate=False)
+        rhs = (encoder.encode(a, terminate=False)
+               ^ encoder.encode(b, terminate=False))
+        assert np.array_equal(lhs, rhs)
+
+
+class TestPuncturing:
+    def test_rates(self):
+        coded = np.arange(24, dtype=np.uint8) % 2
+        assert len(puncture(coded, "1/2")) == 24
+        assert len(puncture(coded, "2/3")) == 18
+        assert len(puncture(coded, "3/4")) == 16
+
+    def test_unknown_rate(self):
+        with pytest.raises(ConfigurationError):
+            puncture(np.zeros(4, dtype=np.uint8), "5/6")
+        with pytest.raises(ConfigurationError):
+            depuncture(np.zeros(4), "7/8")
+
+    def test_depuncture_restores_positions(self, rng):
+        coded = rng.integers(0, 2, 48).astype(np.uint8)
+        for rate in ("1/2", "2/3", "3/4"):
+            sent = puncture(coded, rate)
+            restored = depuncture(sent.astype(float), rate)
+            kept = restored[restored != 0.5]
+            assert np.array_equal(kept.astype(np.uint8), sent)
+            assert len(restored) % 2 == 0
+
+
+class TestViterbi:
+    def test_noiseless_roundtrip(self, rng):
+        encoder, decoder = ConvolutionalEncoder(), ViterbiDecoder()
+        bits = rng.integers(0, 2, 120).astype(np.uint8)
+        decoded = decoder.decode(encoder.encode(bits).astype(float))
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_scattered_hard_errors(self, rng):
+        encoder, decoder = ConvolutionalEncoder(), ViterbiDecoder()
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        coded = encoder.encode(bits).astype(float)
+        # flip well-separated bits (beyond the code's memory)
+        for position in range(10, len(coded), 40):
+            coded[position] = 1.0 - coded[position]
+        decoded = decoder.decode(coded)
+        assert np.array_equal(decoded, bits)
+
+    def test_punctured_roundtrips(self, rng):
+        encoder, decoder = ConvolutionalEncoder(), ViterbiDecoder()
+        bits = rng.integers(0, 2, 144).astype(np.uint8)
+        coded = encoder.encode(bits)
+        for rate in ("2/3", "3/4"):
+            soft = depuncture(puncture(coded, rate).astype(float), rate)
+            decoded = decoder.decode(soft)
+            assert np.array_equal(decoded[:len(bits)], bits)
+
+    def test_soft_inputs_beat_hard_on_weak_bits(self):
+        """An erasure (0.5) hurts less than a confident wrong bit."""
+        encoder, decoder = ConvolutionalEncoder(), ViterbiDecoder()
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        coded = encoder.encode(bits).astype(float)
+        erased = coded.copy()
+        erased[4] = 0.5
+        assert np.array_equal(decoder.decode(erased), bits)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            ViterbiDecoder().decode(np.zeros(5))
+
+    def test_acs_shapes(self):
+        decoder = ViterbiDecoder()
+        survivors, metrics = decoder.acs(np.zeros((10, 2)))
+        assert survivors.shape == (10, 64)
+        assert metrics.shape == (64,)
+
+    def test_constraint_validation(self):
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder(constraint=1)
+        with pytest.raises(ConfigurationError):
+            ViterbiDecoder(constraint=20)
+
+    @given(
+        seed=st.integers(0, 2 ** 16),
+        length=st.integers(8, 64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed, length):
+        rng = np.random.default_rng(seed)
+        encoder, decoder = ConvolutionalEncoder(), ViterbiDecoder()
+        bits = rng.integers(0, 2, length).astype(np.uint8)
+        decoded = decoder.decode(encoder.encode(bits).astype(float))
+        assert np.array_equal(decoded, bits)
+
+
+class TestScrambler:
+    def test_self_inverse(self, rng):
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        forward = Scrambler(0b1011101)
+        backward = Scrambler(0b1011101)
+        assert np.array_equal(backward.process(forward.process(bits)),
+                              bits)
+
+    def test_127_bit_period(self):
+        scrambler = Scrambler(0x7F)
+        sequence = scrambler.sequence(254)
+        assert np.array_equal(sequence[:127], sequence[127:])
+        assert sequence[:127].sum() == 64  # maximal-length property
+
+    def test_standard_sequence_prefix(self):
+        """Clause 17.3.5.4: all-ones seed starts 0000 1110 1111 0010..."""
+        scrambler = Scrambler(0x7F)
+        prefix = "".join(str(b) for b in scrambler.sequence(16))
+        assert prefix == "0000111011110010"
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            Scrambler(0)
+        with pytest.raises(ValueError):
+            Scrambler(0x80)
+
+    def test_pilot_polarity_values(self):
+        polarity = pilot_polarity(10)
+        assert set(np.unique(polarity)) <= {-1, 1}
+        # p0..p3 from the standard: 1 1 1 1 (scrambler emits 0 0 0 0)
+        assert list(polarity[:4]) == [1, 1, 1, 1]

@@ -1,0 +1,86 @@
+"""FFT against the numpy reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.wlan.fft import (
+    bit_reverse_indices,
+    butterfly_count,
+    fft,
+    ifft,
+)
+
+
+def test_bit_reverse_8():
+    assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+def test_bit_reverse_is_involution():
+    indices = bit_reverse_indices(64)
+    assert np.array_equal(indices[indices], np.arange(64))
+
+
+def test_impulse_transforms_to_flat():
+    impulse = np.zeros(64, dtype=complex)
+    impulse[0] = 1.0
+    assert np.allclose(fft(impulse), np.ones(64))
+
+
+def test_matches_numpy(rng):
+    data = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    assert np.allclose(fft(data), np.fft.fft(data), atol=1e-10)
+
+
+def test_ifft_roundtrip(rng):
+    data = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+    assert np.allclose(ifft(fft(data)), data, atol=1e-10)
+
+
+def test_parseval(rng):
+    data = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    time_energy = np.sum(np.abs(data) ** 2)
+    freq_energy = np.sum(np.abs(fft(data)) ** 2) / 64
+    assert time_energy == pytest.approx(freq_energy)
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        fft(np.zeros(48))
+    with pytest.raises(ValueError):
+        fft(np.zeros(0))
+    with pytest.raises(ValueError):
+        bit_reverse_indices(12)
+
+
+def test_butterfly_count():
+    assert butterfly_count(64) == 192  # (64/2) * 6
+    assert butterfly_count(2) == 1
+    with pytest.raises(ValueError):
+        butterfly_count(3)
+
+
+@given(
+    exponent=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+)
+@settings(max_examples=25, deadline=None)
+def test_matches_numpy_property(exponent, seed):
+    rng = np.random.default_rng(seed)
+    n = 1 << exponent
+    data = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    assert np.allclose(fft(data), np.fft.fft(data), atol=1e-9)
+
+
+@given(
+    shift=st.integers(min_value=0, max_value=63),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+)
+@settings(max_examples=25, deadline=None)
+def test_shift_theorem(shift, seed):
+    """fft(x[n - s]) == fft(x) * exp(-2 pi i k s / N)."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    rolled = np.roll(data, shift)
+    phase = np.exp(-2j * np.pi * np.arange(64) * shift / 64)
+    assert np.allclose(fft(rolled), fft(data) * phase, atol=1e-9)

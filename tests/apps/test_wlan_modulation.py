@@ -1,0 +1,167 @@
+"""Constellations, interleaver, and OFDM framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.wlan.frame import (
+    DATA_SUBCARRIERS,
+    N_DATA_SUBCARRIERS,
+    PILOT_SUBCARRIERS,
+    RATE_TABLE,
+    SYMBOL_SAMPLES,
+    assemble_symbol,
+    disassemble_symbol,
+    rate_parameters,
+)
+from repro.apps.wlan.interleaver import deinterleave, interleave
+from repro.apps.wlan.modulation import Demodulator, Modulator
+from repro.errors import ConfigurationError
+
+
+class TestModulation:
+    @pytest.mark.parametrize("n_bpsc", [1, 2, 4, 6])
+    def test_roundtrip(self, n_bpsc, rng):
+        bits = rng.integers(0, 2, n_bpsc * 96).astype(np.uint8)
+        points = Modulator(n_bpsc).map_bits(bits)
+        decided = Demodulator(n_bpsc).demap(points)
+        assert np.array_equal(decided, bits)
+
+    @pytest.mark.parametrize("n_bpsc", [1, 2, 4, 6])
+    def test_unit_average_energy(self, n_bpsc):
+        # exhaustive over the constellation
+        size = 1 << n_bpsc
+        bits = np.array(
+            [(value >> (n_bpsc - 1 - b)) & 1
+             for value in range(size) for b in range(n_bpsc)],
+            dtype=np.uint8,
+        )
+        points = Modulator(n_bpsc).map_bits(bits)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    def test_gray_coding_neighbours_differ_by_one_bit(self):
+        """Adjacent 16-QAM I-axis levels differ in exactly one bit."""
+        modulator = Modulator(4)
+        bits = np.array(
+            [(v >> 3) & 1 for v in range(16) for _ in (0,)]
+        )
+        # check the I axis: map all 2-bit codes, sort by level
+        levels = {}
+        for code in range(4):
+            pattern = np.array(
+                [(code >> 1) & 1, code & 1, 0, 0], dtype=np.uint8
+            )
+            levels[code] = modulator.map_bits(pattern)[0].real
+        ordered = sorted(levels, key=levels.get)
+        for a, b in zip(ordered, ordered[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_small_noise_does_not_flip(self, rng):
+        bits = rng.integers(0, 2, 6 * 64).astype(np.uint8)
+        points = Modulator(6).map_bits(bits)
+        noisy = points + 0.02 * (
+            rng.standard_normal(len(points))
+            + 1j * rng.standard_normal(len(points))
+        )
+        assert np.array_equal(Demodulator(6).demap(noisy), bits)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Modulator(3)
+        with pytest.raises(ConfigurationError):
+            Modulator(2).map_bits(np.array([1], dtype=np.uint8))
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("rate", sorted(RATE_TABLE))
+    def test_roundtrip(self, rate, rng):
+        params = rate_parameters(rate)
+        bits = rng.integers(
+            0, 2, params.n_cbps * 3
+        ).astype(np.uint8)
+        forward = interleave(bits, params.n_cbps, params.n_bpsc)
+        assert np.array_equal(
+            deinterleave(forward, params.n_cbps, params.n_bpsc), bits
+        )
+
+    def test_is_a_permutation(self, rng):
+        params = rate_parameters(54)
+        bits = np.arange(params.n_cbps) % 2
+        forward = interleave(bits, params.n_cbps, params.n_bpsc)
+        assert sorted(forward) == sorted(bits)
+        assert not np.array_equal(forward, bits)
+
+    def test_adjacent_bits_separated(self):
+        """First permutation: adjacent coded bits land >= 3 apart
+        (they map to different subcarriers)."""
+        params = rate_parameters(6)
+        n = params.n_cbps
+        positions = np.empty(n, dtype=int)
+        for k in range(n):
+            unit = np.zeros(n, dtype=np.uint8)
+            unit[k] = 1
+            positions[k] = int(np.argmax(
+                interleave(unit, n, params.n_bpsc)
+            ))
+        gaps = np.abs(np.diff(positions))
+        assert gaps.min() >= 3
+
+    def test_misaligned_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interleave(np.zeros(50, dtype=np.uint8), 48, 1)
+        with pytest.raises(ConfigurationError):
+            deinterleave(np.zeros(50, dtype=np.uint8), 48, 1)
+
+
+class TestFraming:
+    def test_rate_table_consistency(self):
+        for rate, params in RATE_TABLE.items():
+            assert params.n_cbps == 48 * params.n_bpsc
+            numerator, denominator = map(
+                int, params.coding_rate.split("/")
+            )
+            assert params.n_dbps == params.n_cbps * numerator \
+                // denominator
+            assert params.rate_mbps == rate
+
+    def test_unknown_rate(self):
+        with pytest.raises(ConfigurationError):
+            rate_parameters(11)
+
+    def test_subcarrier_plan(self):
+        assert len(DATA_SUBCARRIERS) == N_DATA_SUBCARRIERS
+        assert 0 not in DATA_SUBCARRIERS
+        assert not set(PILOT_SUBCARRIERS) & set(DATA_SUBCARRIERS)
+        assert all(-26 <= k <= 26 for k in DATA_SUBCARRIERS)
+
+    def test_symbol_roundtrip(self, rng):
+        data = (rng.standard_normal(48)
+                + 1j * rng.standard_normal(48)) / np.sqrt(2)
+        samples = assemble_symbol(data, symbol_index=0)
+        assert len(samples) == SYMBOL_SAMPLES
+        recovered, pilots = disassemble_symbol(samples, symbol_index=0)
+        assert np.allclose(recovered, data, atol=1e-9)
+        assert np.allclose(pilots, 1.0, atol=1e-9)
+
+    def test_cyclic_prefix_is_a_copy_of_the_tail(self, rng):
+        data = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        samples = assemble_symbol(data, symbol_index=3)
+        assert np.allclose(samples[:16], samples[64:80])
+
+    def test_wrong_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assemble_symbol(np.zeros(10, dtype=complex), 0)
+        with pytest.raises(ConfigurationError):
+            disassemble_symbol(np.zeros(79, dtype=complex), 0)
+
+
+@given(
+    n_bpsc=st.sampled_from([1, 2, 4, 6]),
+    seed=st.integers(0, 2 ** 16),
+)
+@settings(max_examples=20, deadline=None)
+def test_modulation_roundtrip_property(n_bpsc, seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, n_bpsc * 48).astype(np.uint8)
+    points = Modulator(n_bpsc).map_bits(bits)
+    assert np.array_equal(Demodulator(n_bpsc).demap(points), bits)

@@ -1,0 +1,55 @@
+"""The 802.11a + AES secure link (Section 5.1's composition)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.wlan.channel import awgn_channel
+from repro.apps.wlan.secure import SecureLink
+from repro.errors import ConfigurationError
+
+KEY = bytes(range(16))
+
+
+def test_roundtrip_authenticates(rng):
+    link = SecureLink(KEY, rate_mbps=24)
+    payload = rng.integers(0, 2, 512).astype(np.uint8)
+    result = link.receive(link.transmit(payload), payload_bits=512)
+    assert result.tag_valid
+    assert np.array_equal(result.payload, payload)
+
+
+def test_survives_clean_awgn(rng):
+    link = SecureLink(KEY, rate_mbps=6)
+    payload = rng.integers(0, 2, 256).astype(np.uint8)
+    noisy = awgn_channel(link.transmit(payload), snr_db=25.0, seed=4)
+    result = link.receive(noisy, payload_bits=256)
+    assert result.tag_valid
+
+
+def test_wrong_key_rejects(rng):
+    sender = SecureLink(KEY, rate_mbps=24)
+    receiver = SecureLink(bytes(16), rate_mbps=24)
+    payload = rng.integers(0, 2, 512).astype(np.uint8)
+    result = receiver.receive(sender.transmit(payload),
+                              payload_bits=512)
+    assert not result.tag_valid
+
+
+def test_residual_bit_errors_reject(rng):
+    """Deep noise that breaks the decode must break the tag too."""
+    link = SecureLink(KEY, rate_mbps=54)
+    payload = rng.integers(0, 2, 1024).astype(np.uint8)
+    noisy = awgn_channel(link.transmit(payload), snr_db=8.0, seed=4)
+    result = link.receive(noisy, payload_bits=1024)
+    if not np.array_equal(result.payload, payload):
+        assert not result.tag_valid
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SecureLink(b"short")
+    link = SecureLink(KEY)
+    with pytest.raises(ConfigurationError):
+        link.transmit(np.zeros(7, dtype=np.uint8))
+    with pytest.raises(ConfigurationError):
+        link.receive(np.zeros(80, dtype=complex), payload_bits=7)

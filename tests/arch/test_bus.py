@@ -1,0 +1,127 @@
+"""Segmented bus semantics (Figure 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.arch.bus import SegmentedBus
+
+
+def _bus():
+    return SegmentedBus("bus", n_positions=5, n_splits=8)
+
+
+def test_all_open_isolates_positions():
+    bus = _bus()
+    bus.configure(frozenset())
+    for position in range(5):
+        assert bus.segment_of(0, position) == position
+
+
+def test_all_closed_is_broadcast():
+    bus = _bus()
+    bus.configure(frozenset((0, b) for b in range(4)))
+    results = bus.resolve(
+        [(0, 0, 99)], [(1, 0), (2, 0), (3, 0), (4, 0)]
+    )
+    assert all(value == 99 for value in results.values())
+
+
+def test_disjoint_segments_carry_parallel_transfers():
+    bus = _bus()
+    bus.configure(frozenset({(0, 0), (0, 2)}))  # {0,1} and {2,3}, {4}
+    results = bus.resolve(
+        [(0, 0, 11), (2, 0, 22)], [(1, 0), (3, 0)]
+    )
+    assert results[(1, 0)] == 11
+    assert results[(3, 0)] == 22
+
+
+def test_conflict_on_shared_segment_raises():
+    bus = _bus()
+    bus.configure(frozenset((0, b) for b in range(4)))
+    with pytest.raises(SimulationError):
+        bus.resolve([(0, 0, 1), (3, 0, 2)], [(1, 0)])
+
+
+def test_same_position_different_splits_independent():
+    bus = _bus()
+    bus.configure(frozenset({(0, 0), (1, 0)}))
+    results = bus.resolve(
+        [(0, 0, 5), (0, 1, 6)], [(1, 0), (1, 1)]
+    )
+    assert results[(1, 0)] == 5
+    assert results[(1, 1)] == 6
+
+
+def test_undriven_capture_returns_none():
+    bus = _bus()
+    bus.configure(frozenset())
+    results = bus.resolve([], [(2, 0)])
+    assert results[(2, 0)] is None
+
+
+def test_open_switch_blocks_delivery():
+    bus = _bus()
+    bus.configure(frozenset({(0, 0)}))  # only 0-1 fused
+    results = bus.resolve([(0, 0, 42)], [(1, 0), (2, 0)])
+    assert results[(1, 0)] == 42
+    assert results[(2, 0)] is None
+
+
+def test_configure_validates_ranges():
+    bus = _bus()
+    with pytest.raises(SimulationError):
+        bus.configure(frozenset({(9, 0)}))
+    with pytest.raises(SimulationError):
+        bus.configure(frozenset({(0, 7)}))
+
+
+def test_span_of_transfer():
+    bus = _bus()
+    bus.configure(frozenset((0, b) for b in range(4)))
+    assert bus.span_of_transfer(0, 0, 4) == pytest.approx(1.0)
+    assert bus.span_of_transfer(0, 1, 2) == pytest.approx(0.4)
+    bus.configure(frozenset())
+    with pytest.raises(SimulationError):
+        bus.span_of_transfer(0, 0, 1)
+
+
+def test_traffic_counters():
+    bus = _bus()
+    bus.configure(frozenset({(0, 0)}))
+    bus.resolve([(0, 0, 1)], [(1, 0)])
+    bus.resolve([], [])
+    assert bus.words_moved == 1
+    assert bus.cycles_with_traffic == 1
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        SegmentedBus("b", n_positions=1)
+    with pytest.raises(ValueError):
+        SegmentedBus("b", n_positions=4, n_splits=0)
+
+
+@given(
+    closed=st.sets(
+        st.tuples(st.integers(0, 7), st.integers(0, 3)), max_size=20
+    ),
+    src=st.integers(0, 4),
+    dst=st.integers(0, 4),
+    split=st.integers(0, 7),
+)
+def test_delivery_iff_connected(closed, src, dst, split):
+    """A value is captured iff every switch between src and dst on the
+    split is closed - never across an open segment boundary."""
+    bus = SegmentedBus("bus", n_positions=5, n_splits=8)
+    bus.configure(frozenset(closed))
+    results = bus.resolve([(src, split, 123)], [(dst, split)])
+    lo, hi = sorted((src, dst))
+    path_closed = all(
+        bus.is_closed(split, boundary) for boundary in range(lo, hi)
+    )
+    if path_closed:
+        assert results[(dst, split)] == 123
+    else:
+        assert results[(dst, split)] is None

@@ -1,0 +1,103 @@
+"""Column and chip assembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.chip import BUBBLE, ISSUED, STALLED, Chip
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.arch.dou import DouProgram, DouState
+from repro.isa.assembler import assemble
+
+
+def _chip(programs, **kwargs):
+    config = ChipConfig(
+        reference_mhz=100.0,
+        columns=tuple(ColumnConfig() for _ in programs),
+        **kwargs,
+    )
+    return Chip(config, programs=[assemble(p) for p in programs])
+
+
+def test_program_count_must_match_columns():
+    config = ChipConfig(reference_mhz=100.0,
+                        columns=(ColumnConfig(), ColumnConfig()))
+    with pytest.raises(ConfigurationError):
+        Chip(config, programs=[assemble("halt")])
+
+
+def test_column_issue_outcomes():
+    chip = _chip(["movi r0, 1\nrecv r1\nhalt"])
+    column = chip.columns[0]
+    assert column.step_tile_clock() == ISSUED   # movi
+    assert column.step_tile_clock() == STALLED  # recv with empty buffer
+    for tile in column.tiles:
+        tile.read_buffer.push(5)
+    assert column.step_tile_clock() == ISSUED   # recv now succeeds
+    assert column.step_tile_clock() == BUBBLE   # halted
+    assert all(t.regs.read("R1") == 5 for t in column.tiles)
+
+
+def test_tmask_limits_execution_to_masked_tiles():
+    chip = _chip(["tmask 0x1\nmovi r0, 9\nhalt"])
+    column = chip.columns[0]
+    column.step_tile_clock()
+    assert column.tiles[0].regs.read("R0") == 9
+    assert all(t.regs.read("R0") == 0 for t in column.tiles[1:])
+
+
+def test_feed_and_drain_ports():
+    chip = _chip(["halt", "halt"])
+    chip.feed_column(0, [1, 2, 3])
+    assert len(chip.columns[0].h_in) == 3
+    chip.columns[1].h_out.push(9)
+    assert chip.drain_column(1) == [9]
+
+
+def test_horizontal_dou_requires_two_columns():
+    config = ChipConfig(reference_mhz=100.0, columns=(ColumnConfig(),))
+    with pytest.raises(ConfigurationError):
+        Chip(config, programs=[assemble("halt")],
+             horizontal_dou=DouProgram.idle())
+
+
+def test_horizontal_bus_moves_between_columns():
+    # Column 0's h_out drives horizontal split 0; column 1 captures.
+    horizontal = DouProgram(states=(
+        DouState(closed=frozenset({(0, 0)}),
+                 drives=((0, 0),), captures=((1, 0),)),
+    ))
+    config = ChipConfig(
+        reference_mhz=100.0,
+        columns=(ColumnConfig(), ColumnConfig()),
+        strict_schedules=False,
+    )
+    chip = Chip(config, programs=[assemble("halt"), assemble("halt")],
+                horizontal_dou=horizontal)
+    chip.columns[0].h_out.push(77)
+    chip.step_reference_tick()
+    assert chip.columns[1].h_in.pop() == 77
+
+
+def test_all_halted():
+    chip = _chip(["halt", "nop\nhalt"])
+    assert not chip.all_halted
+    for _ in range(5):
+        chip.step_reference_tick()
+    assert chip.all_halted
+
+
+def test_divided_column_steps_less_often():
+    config = ChipConfig(
+        reference_mhz=100.0,
+        columns=(ColumnConfig(divider=1), ColumnConfig(divider=4)),
+    )
+    chip = Chip(config, programs=[
+        assemble("nop\n" * 8 + "halt"),
+        assemble("nop\n" * 8 + "halt"),
+    ])
+    for _ in range(8):
+        chip.step_reference_tick()
+    fast = chip.columns[0].tile_cycles
+    slow = chip.columns[1].tile_cycles
+    assert fast == 8
+    assert slow == 2

@@ -1,0 +1,54 @@
+"""Clock tree: rationally related divided clocks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.clocking import ClockTree
+
+
+def test_frequencies():
+    tree = ClockTree(600.0, [1, 2, 3])
+    assert tree.frequency_mhz(0) == 600.0
+    assert tree.frequency_mhz(1) == 300.0
+    assert tree.frequency_mhz(2) == 200.0
+
+
+def test_tick_pattern():
+    tree = ClockTree(100.0, [1, 2, 4])
+    ticks = [
+        [tree.ticks(col, t) for t in range(8)] for col in range(3)
+    ]
+    assert ticks[0] == [True] * 8
+    assert ticks[1] == [True, False] * 4
+    assert ticks[2] == [True, False, False, False] * 2
+
+
+def test_hyperperiod():
+    assert ClockTree(100.0, [2, 3]).hyperperiod() == 6
+    assert ClockTree(100.0, [1, 1]).hyperperiod() == 1
+    assert ClockTree(100.0, [4, 6, 10]).hyperperiod() == 60
+
+
+def test_rational_ratios():
+    tree = ClockTree(600.0, [2, 3])
+    assert tree.ratio(0, 1) == (3, 2)  # f0 : f1 = 300 : 200
+    assert tree.ratio(1, 0) == (2, 3)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ClockTree(0.0, [1])
+    with pytest.raises(ConfigurationError):
+        ClockTree(100.0, [])
+    with pytest.raises(ConfigurationError):
+        ClockTree(100.0, [0])
+    with pytest.raises(ConfigurationError):
+        ClockTree(100.0, [1.5])
+
+
+def test_ddc_example_dividers():
+    """Section 2's DDC: mixer 120 MHz, integrator 200 MHz off 600."""
+    tree = ClockTree(600.0, [5, 3])
+    assert tree.frequency_mhz(0) == pytest.approx(120.0)
+    assert tree.frequency_mhz(1) == pytest.approx(200.0)
+    assert tree.hyperperiod() == 15

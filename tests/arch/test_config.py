@@ -1,0 +1,69 @@
+"""Chip/column configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.config import ChipConfig, ColumnConfig
+
+
+def test_column_defaults():
+    column = ColumnConfig()
+    assert column.divider == 1
+    assert column.voltage_v is None
+    assert column.powered
+
+
+def test_column_validation():
+    with pytest.raises(ConfigurationError):
+        ColumnConfig(divider=0)
+    with pytest.raises(ConfigurationError):
+        ColumnConfig(voltage_v=-1.0)
+    with pytest.raises(ConfigurationError):
+        ColumnConfig(zorm=(1,))
+    with pytest.raises(ConfigurationError):
+        ColumnConfig(zorm=(-1, 0))
+
+
+def test_chip_validation():
+    with pytest.raises(ConfigurationError):
+        ChipConfig(reference_mhz=0.0, columns=(ColumnConfig(),))
+    with pytest.raises(ConfigurationError):
+        ChipConfig(reference_mhz=100.0, columns=())
+    with pytest.raises(ConfigurationError):
+        ChipConfig(reference_mhz=100.0, columns=("not a column",))
+
+
+def test_column_frequencies():
+    config = ChipConfig(
+        reference_mhz=600.0,
+        columns=(ColumnConfig(divider=5), ColumnConfig(divider=3)),
+    )
+    assert config.column_frequency_mhz(0) == pytest.approx(120.0)
+    assert config.column_frequency_mhz(1) == pytest.approx(200.0)
+    assert config.n_columns == 2
+
+
+def test_resolve_voltages_from_curve():
+    """The DDC example: 120 MHz -> 0.8 V, 200 MHz -> 1.0 V."""
+    config = ChipConfig(
+        reference_mhz=600.0,
+        columns=(ColumnConfig(divider=5), ColumnConfig(divider=3)),
+    )
+    assert config.resolve_voltages() == (0.8, 1.0)
+
+
+def test_resolve_voltages_checks_explicit_settings():
+    config = ChipConfig(
+        reference_mhz=600.0,
+        columns=(ColumnConfig(divider=1, voltage_v=0.7),),
+    )
+    with pytest.raises(ConfigurationError):
+        config.resolve_voltages()  # 0.7 V cannot run 600 MHz
+
+
+def test_resolve_voltages_accepts_valid_explicit():
+    config = ChipConfig(
+        reference_mhz=100.0,
+        columns=(ColumnConfig(divider=2, voltage_v=0.8),),
+    )
+    assert config.resolve_voltages() == (0.8,)

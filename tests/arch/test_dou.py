@@ -1,0 +1,152 @@
+"""DOU state machine (Figures 3 and 4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.arch.buffers import CommBuffer
+from repro.arch.bus import SegmentedBus
+from repro.arch.dou import (
+    Dou,
+    DouCycle,
+    DouProgram,
+    DouState,
+    linear_schedule,
+)
+
+
+def _rig(program, strict=True, n_positions=5):
+    bus = SegmentedBus("bus", n_positions=n_positions, n_splits=8)
+    writes = {i: CommBuffer(f"w{i}") for i in range(n_positions)}
+    reads = {i: CommBuffer(f"r{i}") for i in range(n_positions)}
+    dou = Dou(program, bus, writes, reads, strict=strict)
+    return dou, writes, reads
+
+
+def _transfer_state(**kwargs):
+    return DouState(
+        closed=frozenset({(0, 0)}),
+        drives=((0, 0),),
+        captures=((1, 0),),
+        **kwargs,
+    )
+
+
+def test_program_validation():
+    with pytest.raises(ConfigurationError):
+        DouProgram(states=())
+    with pytest.raises(ConfigurationError):
+        DouProgram(states=(DouState(next_otherwise=5),))
+    with pytest.raises(ConfigurationError):
+        DouProgram(states=(DouState(counter=0),))  # no counters declared
+    with pytest.raises(ConfigurationError):
+        # drive with no capture can never retire
+        DouProgram(states=(DouState(drives=((0, 0),)),))
+    with pytest.raises(ConfigurationError):
+        DouProgram(states=tuple(DouState() for _ in range(129)))
+
+
+def test_idle_program_moves_nothing():
+    dou, writes, reads = _rig(DouProgram.idle())
+    writes[0].push(1)
+    for _ in range(5):
+        assert dou.step() == 0
+    assert reads[1].is_empty
+
+
+def test_simple_transfer():
+    program = DouProgram(states=(_transfer_state(),))
+    dou, writes, reads = _rig(program)
+    writes[0].push(42)
+    assert dou.step() == 1
+    assert reads[1].pop() == 42
+
+
+def test_strict_underflow_raises():
+    program = DouProgram(states=(_transfer_state(),))
+    dou, writes, reads = _rig(program, strict=True)
+    with pytest.raises(SimulationError):
+        dou.step()
+
+
+def test_permissive_retries_until_data_arrives():
+    program = DouProgram(states=(_transfer_state(),))
+    dou, writes, reads = _rig(program, strict=False)
+    assert dou.step() == 0
+    writes[0].push(7)
+    assert dou.step() == 1
+    assert reads[1].pop() == 7
+
+
+def test_permissive_blocks_on_full_destination():
+    program = DouProgram(states=(_transfer_state(),))
+    dou, writes, reads = _rig(program, strict=False)
+    for _ in range(reads[1].capacity):
+        reads[1].push(0)
+    writes[0].push(9)
+    assert dou.step() == 0
+    assert not writes[0].is_empty  # the word stays queued
+    reads[1].pop()
+    assert dou.step() == 1
+
+
+def test_counter_semantics_match_figure3():
+    """Counter != 0: decrement, go NXTSTATE1; == 0: reset, NXTSTATE0."""
+    states = (
+        DouState(counter=0, next_if_zero=1, next_otherwise=0),
+        DouState(next_otherwise=1),  # park
+    )
+    program = DouProgram(states=states, counter_initial=(2,))
+    dou, _, _ = _rig(program)
+    assert dou.state_index == 0
+    dou.step()  # counter 2 -> 1, stay
+    assert dou.state_index == 0
+    dou.step()  # counter 1 -> 0, stay
+    assert dou.state_index == 0
+    dou.step()  # counter == 0: reset to 2, exit to park
+    assert dou.state_index == 1
+    assert dou.counters[0] == 2
+
+
+def test_linear_schedule_repeats_forever():
+    cycle = DouCycle(closed=frozenset({(0, 0)}), drives=((0, 0),),
+                     captures=((1, 0),))
+    program = linear_schedule([cycle], repeat=None)
+    dou, writes, reads = _rig(program, strict=False)
+    for value in range(5):
+        writes[0].push(value)
+        dou.step()
+    assert [reads[1].pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_linear_schedule_repeat_count_then_parks():
+    cycle = DouCycle(closed=frozenset({(0, 0)}), drives=((0, 0),),
+                     captures=((1, 0),))
+    program = linear_schedule([cycle], repeat=3)
+    dou, writes, reads = _rig(program, strict=False)
+    for value in range(10):
+        writes[0].push(value)
+        dou.step()
+    # exactly 3 transfers happened, then the DOU parked
+    assert len(reads[1]) == 3
+
+
+def test_linear_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        linear_schedule([])
+    with pytest.raises(ConfigurationError):
+        linear_schedule([DouCycle()], repeat=0)
+
+
+def test_broadcast_counts_each_capture():
+    state = DouState(
+        closed=frozenset((0, b) for b in range(4)),
+        drives=((0, 0),),
+        captures=((1, 0), (2, 0), (3, 0)),
+    )
+    program = DouProgram(states=(state,))
+    dou, writes, reads = _rig(program)
+    writes[0].push(5)
+    assert dou.step() == 3
+    for position in (1, 2, 3):
+        assert reads[position].pop() == 5
+    assert writes[0].is_empty  # broadcast pops the source once

@@ -1,0 +1,124 @@
+"""DOU schedule compiler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.buffers import CommBuffer
+from repro.arch.bus import SegmentedBus
+from repro.arch.chip import PORT_POSITION
+from repro.arch.dou import Dou
+from repro.arch.dou_compiler import (
+    Transfer,
+    broadcast_schedule,
+    chain_schedule,
+    compile_cycle,
+    compile_schedule,
+    exchange_schedule,
+)
+
+
+def _rig(program, n_positions=5):
+    bus = SegmentedBus("bus", n_positions=n_positions, n_splits=8)
+    writes = {i: CommBuffer(f"w{i}") for i in range(n_positions)}
+    reads = {i: CommBuffer(f"r{i}") for i in range(n_positions)}
+    return Dou(program, bus, writes, reads, strict=False), writes, reads
+
+
+class TestTransfer:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Transfer(src=0, dsts=())
+        with pytest.raises(ConfigurationError):
+            Transfer(src=0, dsts=(0,))
+
+    def test_segment_range(self):
+        assert Transfer(src=2, dsts=(0,)).segment_range == (0, 2)
+        assert Transfer(src=0, dsts=(1, 3)).segment_range == (0, 3)
+
+
+class TestCompileCycle:
+    def test_disjoint_transfers_share_a_split(self):
+        cycle = compile_cycle([
+            Transfer(src=0, dsts=(1,)),
+            Transfer(src=2, dsts=(3,)),
+        ])
+        splits = {split for _, split in cycle.drives}
+        assert len(splits) == 1  # both fit on split 0
+
+    def test_overlapping_transfers_get_distinct_splits(self):
+        cycle = compile_cycle([
+            Transfer(src=0, dsts=(2,)),
+            Transfer(src=1, dsts=(3,)),
+        ])
+        splits = [split for _, split in cycle.drives]
+        assert splits[0] != splits[1]
+
+    def test_explicit_split_honoured(self):
+        cycle = compile_cycle([Transfer(src=0, dsts=(1,), split=5)])
+        assert cycle.drives == ((0, 5),)
+
+    def test_explicit_conflict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_cycle([
+                Transfer(src=0, dsts=(2,), split=0),
+                Transfer(src=1, dsts=(3,), split=0),
+            ])
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_cycle([Transfer(src=9, dsts=(0,))])
+
+    def test_split_exhaustion_detected(self):
+        overlapping = [
+            Transfer(src=0, dsts=(4,)) for _ in range(9)
+        ]
+        with pytest.raises(ConfigurationError, match="splits"):
+            compile_cycle(overlapping)
+
+    def test_minimal_switch_runs(self):
+        cycle = compile_cycle([Transfer(src=1, dsts=(2,))])
+        split = cycle.drives[0][1]
+        assert cycle.closed == frozenset({(split, 1)})
+
+
+class TestPatterns:
+    def test_chain_moves_data_through_all_stages(self):
+        program = chain_schedule(stages=4)
+        dou, writes, reads = _rig(program)
+        writes[PORT_POSITION].push(7)    # input port
+        for tile in range(4):
+            writes[tile].push(100 + tile)
+        dou.step()
+        assert reads[0].pop() == 7            # port -> t0
+        assert reads[1].pop() == 100          # t0 -> t1
+        assert reads[3].pop() == 102          # t2 -> t3
+        assert reads[PORT_POSITION].pop() == 103  # t3 -> out
+
+    def test_chain_validation(self):
+        with pytest.raises(ConfigurationError):
+            chain_schedule(stages=0)
+        with pytest.raises(ConfigurationError):
+            chain_schedule(stages=9)
+
+    def test_broadcast_reaches_everyone(self):
+        program = broadcast_schedule(src=0)
+        dou, writes, reads = _rig(program)
+        writes[0].push(42)
+        dou.step()
+        for tile in range(4):
+            assert reads[tile].pop() == 42
+
+    def test_exchange_swaps_pairs(self):
+        program = exchange_schedule()
+        dou, writes, reads = _rig(program)
+        for tile in range(4):
+            writes[tile].push(10 + tile)
+        dou.step()
+        assert reads[0].pop() == 11
+        assert reads[1].pop() == 10
+        assert reads[2].pop() == 13
+        assert reads[3].pop() == 12
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_schedule([])

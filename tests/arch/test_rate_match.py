@@ -1,0 +1,87 @@
+"""Zero-Overhead Rate Matching (Section 2.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.arch.rate_match import ZormCounter, rate_match_settings
+
+
+def _simulate(zorm, cycles):
+    """Run the controller-side protocol; return (issued, nops)."""
+    issued = nops = 0
+    for _ in range(cycles):
+        if zorm.should_insert_nop():
+            nops += 1
+            continue
+        issued += 1
+        zorm.note_issue()
+    return issued, nops
+
+
+def test_disabled_by_default():
+    zorm = ZormCounter()
+    assert not zorm.enabled
+    assert zorm.throughput_factor == 1.0
+    issued, nops = _simulate(zorm, 100)
+    assert (issued, nops) == (100, 0)
+
+
+def test_one_nop_per_interval():
+    zorm = ZormCounter(interval=3, nops=1)
+    issued, nops = _simulate(zorm, 400)
+    assert issued / (issued + nops) == pytest.approx(0.75, abs=0.01)
+
+
+def test_burst_nops():
+    zorm = ZormCounter(interval=1, nops=3)
+    issued, nops = _simulate(zorm, 400)
+    assert issued / (issued + nops) == pytest.approx(0.25, abs=0.01)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ZormCounter(interval=-1)
+    with pytest.raises(ConfigurationError):
+        ZormCounter(interval=0, nops=2)
+
+
+def test_rate_match_settings_exact_ratio():
+    interval, nops = rate_match_settings(200.0, 100.0)
+    factor = interval / (interval + nops)
+    assert factor == pytest.approx(0.5)
+
+
+def test_rate_match_settings_no_throttle_needed():
+    assert rate_match_settings(100.0, 100.0) == (0, 0)
+    assert rate_match_settings(100.0, 200.0) == (0, 0)
+
+
+def test_rate_match_settings_validation():
+    with pytest.raises(ConfigurationError):
+        rate_match_settings(0.0, 1.0)
+
+
+@given(
+    produced=st.floats(min_value=1.0, max_value=1000.0),
+    consumed=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_rate_match_never_overruns(produced, consumed):
+    """The chosen setting never lets the producer exceed the consumer."""
+    interval, nops = rate_match_settings(produced, consumed)
+    if interval == 0:
+        assert consumed >= produced
+        return
+    effective = produced * interval / (interval + nops)
+    assert effective <= consumed * (1.0 + 1e-9)
+    # and it is reasonably tight: within 2% of the target ratio
+    assert effective >= consumed * 0.98 or interval + nops > 4000
+
+
+@given(st.integers(1, 20), st.integers(1, 20))
+def test_simulated_throughput_matches_factor(interval, nops):
+    zorm = ZormCounter(interval=interval, nops=nops)
+    issued, total_nops = _simulate(zorm, 2000)
+    assert issued / 2000 == pytest.approx(
+        zorm.throughput_factor, abs=0.02
+    )

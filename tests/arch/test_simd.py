@@ -1,0 +1,157 @@
+"""SIMD controller: control/compute split, branch stall, loops."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.arch.rate_match import ZormCounter
+from repro.arch.simd import SimdController
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+
+
+def _drain(controller, limit=200):
+    """Collect issued opcodes until halt (None = bubble)."""
+    issued = []
+    for _ in range(limit):
+        if controller.halted and controller._pending is None:
+            break
+        instr = controller.next_instruction()
+        if instr is None:
+            issued.append(None)
+            continue
+        controller.commit()
+        issued.append(instr.opcode)
+    return issued
+
+
+def test_zero_overhead_loop_has_no_bubbles():
+    program = assemble("""
+        loop 3
+          addi r0, r0, 1
+        endloop
+        halt
+    """)
+    controller = SimdController(program, condition_source=lambda r: 0)
+    issued = _drain(controller)
+    compute = [op for op in issued if op is not None]
+    assert compute == [Opcode.ADDI] * 3
+    assert controller.branch_stalls == 0
+    # Only the final halt-bubble appears; the loop itself is free.
+    assert issued.count(None) <= 1
+
+
+def test_conditional_branch_costs_one_bubble():
+    program = assemble("""
+        movi r0, 1
+        beq r0, skip
+        movi r1, 2
+    skip:
+        halt
+    """)
+    values = {"R0": 1}
+    controller = SimdController(
+        program, condition_source=lambda r: values.get(r.upper(), 0)
+    )
+    issued = _drain(controller)
+    assert controller.branch_stalls == 1
+    # not taken (r0 == 1): movi r1 executes after one bubble
+    assert Opcode.MOVI in issued
+    assert issued.count(None) >= 1
+
+
+def test_branch_taken_skips_instructions():
+    program = assemble("""
+        movi r0, 1
+        bne r0, skip
+        movi r1, 2
+    skip:
+        halt
+    """)
+    executed = []
+    controller = SimdController(program, condition_source=lambda r: 1)
+    for _ in range(20):
+        if controller.halted:
+            break
+        instr = controller.next_instruction()
+        if instr is not None:
+            controller.commit()
+            executed.append(instr)
+    # only the first movi executes; movi r1 was branched over
+    destinations = [i.dst for i in executed]
+    assert "R1" not in destinations
+
+
+def test_nested_loops_multiply():
+    program = assemble("""
+        loop 2
+          loop 3
+            addi r0, r0, 1
+          endloop
+        endloop
+        halt
+    """)
+    controller = SimdController(program, condition_source=lambda r: 0)
+    issued = [op for op in _drain(controller) if op is not None]
+    assert issued.count(Opcode.ADDI) == 6
+
+
+def test_tmask_updates_active_mask():
+    program = assemble("""
+        tmask 0x3
+        nop
+        halt
+    """)
+    controller = SimdController(program, condition_source=lambda r: 0)
+    instr = controller.next_instruction()
+    assert instr.opcode is Opcode.NOP
+    assert controller.active_mask == 0x3
+
+
+def test_control_only_spin_detected():
+    program = assemble("here: jump here")
+    controller = SimdController(program, condition_source=lambda r: 0)
+    with pytest.raises(SimulationError):
+        controller.next_instruction()
+
+
+def test_zorm_inserts_nops():
+    program = assemble("""
+        loop 8
+          addi r0, r0, 1
+        endloop
+        halt
+    """)
+    controller = SimdController(
+        program, condition_source=lambda r: 0,
+        zorm=ZormCounter(interval=2, nops=1),
+    )
+    issued = _drain(controller)
+    assert controller.zorm.total_nops == 4  # one nop per two issues
+    assert issued.count(None) >= 4
+
+
+def test_commit_without_pending_raises():
+    program = assemble("halt")
+    controller = SimdController(program, condition_source=lambda r: 0)
+    with pytest.raises(SimulationError):
+        controller.commit()
+
+
+def test_missing_condition_source_raises():
+    program = assemble("""
+        beq r0, done
+    done:
+        halt
+    """)
+    controller = SimdController(program)
+    with pytest.raises(SimulationError):
+        controller.next_instruction()
+
+
+def test_running_off_the_end_halts():
+    program = assemble("nop")
+    controller = SimdController(program, condition_source=lambda r: 0)
+    instr = controller.next_instruction()
+    controller.commit()
+    assert controller.next_instruction() is None
+    assert controller.halted

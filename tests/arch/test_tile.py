@@ -1,0 +1,158 @@
+"""Tile datapath execution."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.arch.tile import Tile
+from repro.isa.instructions import Instruction, Opcode
+
+
+def _t():
+    return Tile(tile_id=2, memory_words=64)
+
+
+def _run(tile, *instrs):
+    for instr in instrs:
+        tile.execute(instr)
+
+
+def test_movi_mov():
+    tile = _t()
+    _run(tile,
+         Instruction(Opcode.MOVI, dst="R0", imm=7),
+         Instruction(Opcode.MOV, dst="R1", srcs=("R0",)))
+    assert tile.regs.read("R1") == 7
+
+
+def test_arithmetic_wraps():
+    tile = _t()
+    _run(tile,
+         Instruction(Opcode.MOVI, dst="R0", imm=0x7FFFFFFF),
+         Instruction(Opcode.ADDI, dst="R0", srcs=("R0",), imm=1))
+    assert tile.regs.read_signed("R0") == -(1 << 31)
+
+
+def test_signed_min_max_abs_neg():
+    tile = _t()
+    _run(tile,
+         Instruction(Opcode.MOVI, dst="R0", imm=-5),
+         Instruction(Opcode.MOVI, dst="R1", imm=3),
+         Instruction(Opcode.MIN, dst="R2", srcs=("R0", "R1")),
+         Instruction(Opcode.MAX, dst="R3", srcs=("R0", "R1")),
+         Instruction(Opcode.ABS, dst="R4", srcs=("R0",)),
+         Instruction(Opcode.NEG, dst="R5", srcs=("R1",)))
+    assert tile.regs.read_signed("R2") == -5
+    assert tile.regs.read_signed("R3") == 3
+    assert tile.regs.read_signed("R4") == 5
+    assert tile.regs.read_signed("R5") == -3
+
+
+def test_shifts():
+    tile = _t()
+    _run(tile,
+         Instruction(Opcode.MOVI, dst="R0", imm=-8),
+         Instruction(Opcode.ASR, dst="R1", srcs=("R0",), imm=1),
+         Instruction(Opcode.LSR, dst="R2", srcs=("R0",), imm=1),
+         Instruction(Opcode.MOVI, dst="R3", imm=3),
+         Instruction(Opcode.LSL, dst="R4", srcs=("R3",), imm=4))
+    assert tile.regs.read_signed("R1") == -4
+    assert tile.regs.read("R2") == 0x7FFFFFFC
+    assert tile.regs.read("R4") == 48
+
+
+def test_mul_and_mulh():
+    tile = _t()
+    _run(tile,
+         Instruction(Opcode.MOVI, dst="R0", imm=100000),
+         Instruction(Opcode.MOVI, dst="R1", imm=100000),
+         Instruction(Opcode.MUL, dst="R2", srcs=("R0", "R1")),
+         Instruction(Opcode.MULH, dst="R3", srcs=("R0", "R1")))
+    product = 100000 * 100000
+    assert tile.regs.read("R2") == product & 0xFFFFFFFF
+    assert tile.regs.read_signed("R3") == product >> 32
+
+
+def test_mac_accumulates_40_bits():
+    tile = _t()
+    tile.execute(Instruction(Opcode.MOVI, dst="R0", imm=1 << 16))
+    for _ in range(100):
+        tile.execute(Instruction(Opcode.MAC, dst="A0",
+                                 srcs=("R0", "R0")))
+    assert tile.regs.read_signed("A0") == 100 * (1 << 32)
+    assert tile.mac_operations == 100
+
+
+def test_mac_requires_accumulator():
+    tile = _t()
+    with pytest.raises(SimulationError):
+        tile.execute(Instruction(Opcode.MAC, dst="R0",
+                                 srcs=("R1", "R2")))
+
+
+def test_memory_load_store_post_increment():
+    tile = _t()
+    tile.load_memory(0, [10, 20, 30])
+    _run(tile,
+         Instruction(Opcode.MOVI, dst="P0", imm=0),
+         Instruction(Opcode.LD, dst="R0", ptr="P0",
+                     post_increment=True),
+         Instruction(Opcode.LD, dst="R1", ptr="P0",
+                     post_increment=True),
+         Instruction(Opcode.ST, srcs=("R0",), ptr="P0", offset=1))
+    assert tile.regs.read("R0") == 10
+    assert tile.regs.read("R1") == 20
+    assert tile.memory[3] == 10
+    assert tile.regs.read("P0") == 2
+
+
+def test_out_of_bounds_memory_raises():
+    tile = _t()
+    tile.execute(Instruction(Opcode.MOVI, dst="P0", imm=64))
+    with pytest.raises(SimulationError):
+        tile.execute(Instruction(Opcode.LD, dst="R0", ptr="P0"))
+    with pytest.raises(SimulationError):
+        tile.load_memory(60, [0] * 10)
+    with pytest.raises(SimulationError):
+        tile.read_memory(60, 10)
+
+
+def test_tid():
+    tile = _t()
+    tile.execute(Instruction(Opcode.TID, dst="R0"))
+    assert tile.regs.read("R0") == 2
+
+
+def test_send_recv_buffers():
+    tile = _t()
+    tile.execute(Instruction(Opcode.MOVI, dst="R7", imm=99))
+    tile.execute(Instruction(Opcode.SEND, srcs=("R7",)))
+    assert tile.write_buffer.pop() == 99
+    tile.read_buffer.push(55)
+    tile.execute(Instruction(Opcode.RECV, dst="R3"))
+    assert tile.regs.read("R3") == 55
+
+
+def test_can_execute_blocking_rules():
+    tile = _t()
+    recv = Instruction(Opcode.RECV, dst="R0")
+    assert not tile.can_execute(recv)
+    tile.read_buffer.push(1)
+    assert tile.can_execute(recv)
+    send = Instruction(Opcode.SEND, srcs=("R0",))
+    while not tile.write_buffer.is_full:
+        tile.write_buffer.push(0)
+    assert not tile.can_execute(send)
+
+
+def test_control_opcode_rejected_by_tile():
+    tile = _t()
+    with pytest.raises(SimulationError):
+        tile.execute(Instruction(Opcode.HALT))
+
+
+def test_instruction_counter():
+    tile = _t()
+    _run(tile,
+         Instruction(Opcode.NOP),
+         Instruction(Opcode.MOVI, dst="R0", imm=1))
+    assert tile.instructions_executed == 2

@@ -1,0 +1,121 @@
+"""Figure drivers regenerate the paper's series."""
+
+import pytest
+
+from repro.eval import fig5, fig6, fig7, fig8, fig9, fig10
+
+
+class TestFig5:
+    def test_two_series(self):
+        data = fig5.compute()
+        assert set(data) == {15, 20}
+        assert len(data[20]) == len(data[15])
+
+    def test_15fo4_above_20fo4(self):
+        data = fig5.compute()
+        for (_, f20), (_, f15) in zip(data[20], data[15]):
+            assert f15 > f20
+
+    def test_render(self):
+        assert "20 FO4" in fig5.render()
+
+
+class TestFig6:
+    def test_six_bars_in_paper_order(self):
+        bars = fig6.compute()
+        assert [b.application for b in bars] == [
+            "DDC", "Stereo Vision", "802.11a", "MPEG4 CIF",
+            "MPEG4 QCIF", "802.11a + AES",
+        ]
+
+    def test_stacked_heights(self):
+        for bar in fig6.compute():
+            assert bar.additional_unscaled_mw >= 0.0
+            assert bar.unscaled_mw == pytest.approx(
+                bar.scaled_mw + bar.additional_unscaled_mw
+            )
+
+    def test_stereo_shows_large_scaling_benefit(self):
+        bars = {b.application: b for b in fig6.compute()}
+        stereo = bars["Stereo Vision"]
+        assert stereo.additional_unscaled_mw / stereo.unscaled_mw \
+            == pytest.approx(0.32, abs=0.03)
+
+    def test_render(self):
+        assert "MPEG4" in fig6.render()
+
+
+class TestFig7:
+    def test_all_bars_present(self):
+        bars = fig7.compute()
+        labels = {(b.application, b.n_tiles) for b in bars}
+        assert ("DDC", 14) in labels
+        assert ("802.11a", 36) in labels
+        assert ("MPEG4", 8) in labels
+        assert len(bars) == 13
+
+    def test_dark_share_grows_with_parallelism(self):
+        bars = fig7.compute()
+        for app in ("DDC", "SV", "802.11a", "MPEG4"):
+            shares = [
+                b.overhead_fraction for b in bars
+                if b.application == app
+            ]
+            assert shares == sorted(shares), app
+
+    def test_render(self):
+        assert "Dark share" in fig7.render()
+
+
+class TestFig8:
+    def test_grid(self):
+        points = fig8.compute()
+        assert len(points) == 18
+
+    def test_knee(self):
+        gains = fig8.knee_gain()
+        assert gains["128->256"] > 4.0 * max(gains["256->512"], 1.0)
+
+    def test_render(self):
+        text = fig8.render()
+        assert "infeasible" in text
+        assert "256" in text
+
+
+class TestFig9:
+    def test_series_labels(self):
+        labels = {s.label for s in fig9.compute()}
+        assert "DDC 50 Tiles" in labels
+        assert "802.11a 12 Tiles" in labels
+
+    def test_render(self):
+        assert "Leakage sensitivity" in fig9.render()
+
+
+class TestFig10:
+    def test_series_labels(self):
+        labels = {s.label for s in fig10.compute()}
+        assert "SV 17 Tiles" in labels
+        assert "MPEG4 36 Tiles" in labels
+
+    def test_crossover_summary(self):
+        crossing = fig10.mpeg4_crossover()
+        assert crossing["paper_ma"] == 14.8
+        assert crossing["crossover_ma"] == pytest.approx(14.8, abs=7.4)
+        assert crossing["crossover_na_per_transistor"] \
+            == pytest.approx(8.3, abs=4.0)
+
+    def test_render(self):
+        assert "crossover" in fig10.render()
+
+
+def test_runner_runs_everything():
+    from repro.eval.runner import run_all
+
+    outputs = run_all()
+    assert set(outputs) == {
+        "table1", "table2", "table3", "table4",
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    }
+    for text in outputs.values():
+        assert isinstance(text, str) and text

@@ -1,0 +1,36 @@
+"""Runner CLI behaviours."""
+
+import pytest
+
+from repro.eval.runner import main, run_all, write_results
+
+
+def test_run_all_selection():
+    outputs = run_all(["table1", "fig5"])
+    assert set(outputs) == {"table1", "fig5"}
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_all(["fig99"])
+
+
+def test_write_results(tmp_path):
+    outputs = run_all(["table1"])
+    written = write_results(outputs, str(tmp_path / "results"))
+    assert len(written) == 1
+    assert written[0].read_text().startswith("Table 1")
+
+
+def test_cli_single_experiment(capsys):
+    main(["--experiment", "table2"])
+    out = capsys.readouterr().out
+    assert "== table2" in out
+    assert "32 KB SRAM" in out
+
+
+def test_cli_output_directory(tmp_path, capsys):
+    main(["-e", "table1", "-o", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "table1.txt").exists()

@@ -1,0 +1,111 @@
+"""Failure injection: the machine model rejects illegal states loudly."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.arch.chip import Chip
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.arch.dou import DouProgram, DouState
+from repro.isa.assembler import assemble
+from repro.sim.simulator import Simulator, run_single_column
+
+
+def test_bus_conflict_detected_at_runtime():
+    """Two tiles driving one fused segment is a structural hazard."""
+    program = assemble("""
+        tid r0
+        send r0
+        recv r1
+        halt
+    """)
+    conflict = DouProgram(states=(DouState(
+        closed=frozenset((0, b) for b in range(4)),
+        drives=((0, 0), (1, 0)),          # both on one broadcast net
+        captures=((2, 0), (3, 0)),
+    ),))
+    with pytest.raises(SimulationError, match="conflict"):
+        run_single_column(program, dou_program=conflict,
+                          strict_schedules=False, max_ticks=100)
+
+
+def test_strict_schedule_underflow_raises():
+    program = assemble("nop\nhalt")
+    hungry = DouProgram(states=(DouState(
+        closed=frozenset({(0, 0)}),
+        drives=((0, 0),),
+        captures=((1, 0),),
+    ),))
+    with pytest.raises(SimulationError, match="underflow"):
+        run_single_column(program, dou_program=hungry,
+                          strict_schedules=True, max_ticks=100)
+
+
+def test_runtime_loop_stack_overflow():
+    """Dynamic nesting beyond 4 levels trips the hardware limit.
+
+    The assembler catches static over-nesting; a jump into a loop body
+    re-enters LOOP without unwinding, overflowing at runtime.
+    """
+    source = """
+    top:
+        loop 2
+          nop
+          jump top
+        endloop
+        halt
+    """
+    with pytest.raises(SimulationError, match="loop stack"):
+        run_single_column(assemble(source), max_ticks=1000)
+
+
+def test_memory_out_of_bounds_raises():
+    program = assemble("""
+        movi p0, 9000
+        ld r0, [p0]
+        halt
+    """)
+    with pytest.raises(SimulationError, match="out of bounds"):
+        run_single_column(program, max_ticks=100)
+
+
+def test_port_overflow_raises():
+    """Filling a column's h_in beyond its capacity fails loudly."""
+    config = ChipConfig(
+        reference_mhz=100.0,
+        columns=(ColumnConfig(),),
+        port_capacity=4,
+    )
+    chip = Chip(config, programs=[assemble("halt")])
+    with pytest.raises(SimulationError, match="overflow"):
+        chip.feed_column(0, list(range(5)))
+
+
+def test_tick_budget_exhaustion_reports_deadlock():
+    program = assemble("recv r0\nhalt")
+    with pytest.raises(SimulationError, match="deadlock"):
+        run_single_column(program, max_ticks=200)
+
+
+def test_simulation_continues_after_nonfatal_stalls():
+    """Stalls are not errors: a late producer resolves them."""
+    program = assemble("""
+        tmask 0x1
+        movi r0, 3
+        send r0
+        tmask 0xF
+        recv r1
+        halt
+    """)
+    from repro.arch.dou import DouCycle, linear_schedule
+    broadcast = linear_schedule([DouCycle(
+        closed=frozenset((0, b) for b in range(4)),
+        drives=((0, 0),),
+        captures=((0, 0), (1, 0), (2, 0), (3, 0)),
+    )])
+    chip, stats = run_single_column(
+        program, dou_program=broadcast,
+        strict_schedules=False, max_ticks=1000,
+    )
+    assert all(
+        t.regs.read("R1") == 3 for t in chip.columns[0].tiles
+    )

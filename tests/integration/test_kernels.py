@@ -1,0 +1,106 @@
+"""Assembly kernels on the cycle-level simulator.
+
+Each kernel carries its own functional oracle; these tests run them
+and additionally pin down the measured architectural quantities
+(instruction counts, communication densities) that feed the power
+methodology.
+"""
+
+import pytest
+
+from repro.kernels import (
+    build_acs_kernel,
+    build_cic_chain_kernel,
+    build_dct_kernel,
+    build_fir_kernel,
+    build_mixer_kernel,
+    run_kernel,
+)
+
+
+@pytest.mark.parametrize("builder", [
+    build_fir_kernel,
+    build_mixer_kernel,
+    build_cic_chain_kernel,
+    build_acs_kernel,
+    build_dct_kernel,
+], ids=["fir", "mixer", "cic", "acs", "dct"])
+def test_kernel_passes_its_oracle(builder):
+    run = run_kernel(builder())
+    assert run.issued > 0
+    assert run.cycles_per_sample > 0
+
+
+class TestFirKernel:
+    def test_instruction_count_is_exact(self):
+        # per window: 2 movi + taps*(2 ld + mac) + mov + st = 4 + 3*taps
+        # plus 2 global movi
+        run = run_kernel(build_fir_kernel(taps=8, windows=6))
+        assert run.issued == 2 + 6 * (4 + 3 * 8)
+
+    def test_no_bus_traffic(self):
+        run = run_kernel(build_fir_kernel())
+        assert run.bus_words_per_cycle == 0.0
+
+    def test_scales_with_taps(self):
+        short = run_kernel(build_fir_kernel(taps=4, windows=4))
+        long = run_kernel(build_fir_kernel(taps=16, windows=4))
+        assert long.cycles_per_sample > short.cycles_per_sample
+
+
+class TestMixerKernel:
+    def test_cycles_per_sample(self):
+        # 12 instructions per sample + 6 setup / 8 samples
+        run = run_kernel(build_mixer_kernel(samples=8))
+        assert run.issued == 6 + 8 * 12
+
+    def test_frequency_derivation_matches_table4_scale(self):
+        """At 64 MS/s split over 8 tiles (8 MS/s each), the measured
+        mixer kernel lands in the same frequency regime as the paper's
+        120 MHz mixer column."""
+        run = run_kernel(build_mixer_kernel(samples=8))
+        frequency = run.frequency_for_rate(sample_rate_msps=8.0)
+        assert 80.0 <= frequency <= 140.0
+
+
+class TestCicChainKernel:
+    def test_moves_one_word_per_stage_per_sample(self):
+        run = run_kernel(build_cic_chain_kernel(samples=24))
+        # 5 hops (port->t0..t3->port) per sample
+        assert run.stats.column(0).bus_words \
+            == pytest.approx(5 * 24, abs=5)
+
+    def test_comm_density_is_high(self):
+        """The integrator chain is communication-bound - the paper's
+        CIC Integrator carries the heaviest DDC traffic."""
+        run = run_kernel(build_cic_chain_kernel())
+        assert run.bus_words_per_cycle > 1.0
+
+
+class TestAcsKernel:
+    def test_exchange_traffic(self):
+        run = run_kernel(build_acs_kernel(steps=16))
+        # 4 metric words swap per step
+        assert run.stats.column(0).bus_words \
+            == pytest.approx(4 * 16, abs=8)
+
+    def test_different_seeds_change_metrics(self):
+        a = run_kernel(build_acs_kernel(seed=1))
+        b = run_kernel(build_acs_kernel(seed=2))
+        metrics_a = [t.regs.read_signed("R0")
+                     for t in a.chip.columns[0].tiles]
+        metrics_b = [t.regs.read_signed("R0")
+                     for t in b.chip.columns[0].tiles]
+        assert metrics_a != metrics_b
+
+
+class TestDctKernel:
+    def test_mac_count(self):
+        run = run_kernel(build_dct_kernel())
+        tile = run.chip.columns[0].tiles[0]
+        assert tile.mac_operations == 64  # 8 outputs x 8 taps
+
+    def test_q14_precision(self):
+        # the oracle inside the kernel already asserts < 2 LSB error;
+        # rerun with a different seed for coverage
+        run_kernel(build_dct_kernel(seed=123))

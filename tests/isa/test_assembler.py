@@ -1,0 +1,119 @@
+"""Two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+
+
+def test_basic_program():
+    program = assemble("""
+        movi r0, 5
+        addi r0, r0, -1
+        halt
+    """)
+    assert len(program) == 3
+    assert program[0].opcode is Opcode.MOVI
+    assert program[1].imm == -1
+
+
+def test_labels_and_branches():
+    program = assemble("""
+    top:
+        addi r0, r0, 1
+        bne r0, top
+        halt
+    """)
+    assert program.address_of("top") == 0
+    assert program[1].target == 0
+
+
+def test_label_on_same_line():
+    program = assemble("start: movi r0, 1\n jump start")
+    assert program.address_of("start") == 0
+
+
+def test_equ_symbols():
+    program = assemble("""
+        .equ taps, 21
+        .equ base, 0x100
+        movi p0, base
+        loop taps
+        nop
+        endloop
+        halt
+    """)
+    assert program[0].imm == 0x100
+    assert program[1].imm == 21
+    assert program.symbols["taps"] == 21
+
+
+def test_memory_operands():
+    program = assemble("""
+        ld r0, [p0]
+        ld r1, [p0+4]
+        ld r2, [p0-2]
+        ld r3, [p1++]
+        st [p2], r0
+        st [p2++], r1
+        halt
+    """)
+    assert program[0].offset == 0
+    assert program[1].offset == 4
+    assert program[2].offset == -2
+    assert program[3].post_increment
+    assert program[4].srcs == ("R0",)
+    assert program[5].post_increment
+
+
+def test_comments_stripped():
+    program = assemble("""
+        ; full-line comment
+        movi r0, 1   ; trailing
+        nop          # hash comment
+        halt
+    """)
+    assert len(program) == 3
+
+
+def test_case_insensitive():
+    program = assemble("MOVI R0, 1\nHALT")
+    assert program[0].dst == "R0"
+
+
+def test_errors():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate r0")
+    with pytest.raises(AssemblyError):
+        assemble("movi r0")  # missing immediate
+    with pytest.raises(AssemblyError):
+        assemble("movi r0, xyz")  # bad immediate
+    with pytest.raises(AssemblyError):
+        assemble("jump nowhere\nhalt")  # unknown label
+    with pytest.raises(AssemblyError):
+        assemble("a: nop\na: halt")  # duplicate label
+    with pytest.raises(AssemblyError):
+        assemble("ld r0, [r1]")  # non-pointer memory base
+    with pytest.raises(AssemblyError):
+        assemble("add r0, r1, r2, r3\nhalt")  # extra operand
+    with pytest.raises(AssemblyError):
+        assemble("movi: nop")  # label shadows mnemonic
+
+
+def test_loop_balance_checked():
+    with pytest.raises(AssemblyError):
+        assemble("loop 3\nnop\nhalt")  # unterminated
+    with pytest.raises(AssemblyError):
+        assemble("endloop\nhalt")  # unopened
+    with pytest.raises(AssemblyError):
+        assemble(
+            "loop 2\n" * 5 + "nop\n" + "endloop\n" * 5 + "halt"
+        )  # deeper than the 4-level hardware stack
+
+
+def test_listing_roundtrip_mentions_labels():
+    program = assemble("start: nop\n jump start")
+    listing = program.listing()
+    assert "start:" in listing
+    assert "jump" in listing

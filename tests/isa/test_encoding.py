@@ -1,0 +1,83 @@
+"""Binary encoding round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import ALL_REGISTERS
+
+
+def test_simple_roundtrips():
+    cases = [
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.MOVI, dst="R0", imm=-42),
+        Instruction(Opcode.ADD, dst="R1", srcs=("R2", "R3")),
+        Instruction(Opcode.LD, dst="R4", ptr="P0", offset=-8),
+        Instruction(Opcode.ST, srcs=("R5",), ptr="P1",
+                    post_increment=True),
+        Instruction(Opcode.JUMP, target=17),
+        Instruction(Opcode.LOOP, imm=1000),
+        Instruction(Opcode.MAC, dst="A0", srcs=("R1", "R2")),
+        Instruction(Opcode.SEND, srcs=("R7",)),
+        Instruction(Opcode.RECV, dst="R6"),
+        Instruction(Opcode.HALT),
+    ]
+    for instr in cases:
+        assert decode(encode(instr)) == instr
+
+
+def test_unresolved_target_rejected():
+    branch = Instruction(Opcode.JUMP, target="label")
+    with pytest.raises(AssemblyError):
+        encode(branch)
+
+
+def test_payload_range_checked():
+    with pytest.raises(AssemblyError):
+        encode(Instruction(Opcode.MOVI, dst="R0", imm=1 << 40))
+
+
+def test_decode_rejects_bad_words():
+    with pytest.raises(AssemblyError):
+        decode(-1)
+    with pytest.raises(AssemblyError):
+        decode(0x3F << 58)  # opcode index beyond the table
+
+
+_reg = st.sampled_from([r for r in ALL_REGISTERS if not r.startswith("A")])
+_imm = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+@given(dst=_reg, imm=_imm, mask=st.integers(min_value=0, max_value=15))
+def test_movi_roundtrip_property(dst, imm, mask):
+    instr = Instruction(Opcode.MOVI, dst=dst, imm=imm, mask=mask)
+    assert decode(encode(instr)) == instr
+
+
+@given(dst=_reg, a=_reg, b=_reg)
+def test_threeop_roundtrip_property(dst, a, b):
+    for opcode in (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.MIN):
+        instr = Instruction(opcode, dst=dst, srcs=(a, b))
+        assert decode(encode(instr)) == instr
+
+
+@given(
+    dst=_reg,
+    ptr=st.sampled_from(["P0", "P1", "P2", "P3", "P4", "P5"]),
+    offset=st.integers(min_value=-2048, max_value=2047),
+    inc=st.booleans(),
+)
+def test_load_roundtrip_property(dst, ptr, offset, inc):
+    if inc:
+        offset = 0
+    instr = Instruction(Opcode.LD, dst=dst, ptr=ptr, offset=offset,
+                        post_increment=inc)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_branch_target_roundtrip_property(target):
+    instr = Instruction(Opcode.BNE, srcs=("R0",), target=target)
+    assert decode(encode(instr)) == instr

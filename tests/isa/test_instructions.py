@@ -1,0 +1,70 @@
+"""Instruction construction and validation."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    ALL_TILES_MASK,
+    CONTROL_OPCODES,
+    Instruction,
+    Opcode,
+)
+
+
+def test_signature_validation():
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.ADD, dst="R0", srcs=("R1",))  # needs 2 srcs
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.MOVI, dst="R0")  # missing imm
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.JUMP)  # missing target
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.NOP, dst="R0")  # unexpected dst
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.LD, dst="R0")  # missing pointer
+
+
+def test_loop_count_validation():
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.LOOP, imm=0)
+    Instruction(Opcode.LOOP, imm=1)
+
+
+def test_mask_validation():
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.NOP, mask=0x10)
+    assert Instruction(Opcode.NOP).mask == ALL_TILES_MASK
+
+
+def test_control_classification():
+    assert Instruction(Opcode.HALT).is_control
+    assert Instruction(Opcode.JUMP, target=0).is_control
+    assert not Instruction(Opcode.ADD, dst="R0",
+                           srcs=("R1", "R2")).is_control
+    for opcode in CONTROL_OPCODES:
+        assert opcode.value in {
+            "jump", "beq", "bne", "blt", "bge", "loop", "endloop",
+            "tmask", "halt",
+        }
+
+
+def test_conditional_branch_classification():
+    assert Instruction(Opcode.BEQ, srcs=("R0",), target=0) \
+        .is_conditional_branch
+    assert not Instruction(Opcode.JUMP, target=0).is_conditional_branch
+
+
+def test_with_target():
+    branch = Instruction(Opcode.BNE, srcs=("R1",), target="loop_start")
+    resolved = branch.with_target(5)
+    assert resolved.target == 5
+    assert resolved.opcode is Opcode.BNE
+
+
+def test_text_rendering():
+    instr = Instruction(Opcode.ADD, dst="R0", srcs=("R1", "R2"))
+    assert instr.text() == "add r0, r1, r2"
+    load = Instruction(Opcode.LD, dst="R1", ptr="P0", post_increment=True)
+    assert "[p0++]" in load.text()
+    store = Instruction(Opcode.ST, srcs=("R2",), ptr="P1", offset=4)
+    assert "[p1+4]" in store.text()

@@ -1,0 +1,52 @@
+"""Program container validation."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program, halting
+
+
+def test_target_out_of_range_rejected():
+    with pytest.raises(AssemblyError):
+        Program(instructions=(
+            Instruction(Opcode.JUMP, target=5),
+            Instruction(Opcode.HALT),
+        ))
+
+
+def test_unresolved_target_rejected():
+    with pytest.raises(AssemblyError):
+        Program(instructions=(
+            Instruction(Opcode.JUMP, target="label"),
+        ))
+
+
+def test_iteration_and_indexing():
+    program = assemble("nop\nnop\nhalt")
+    assert len(program) == 3
+    assert [i.opcode for i in program] == [
+        Opcode.NOP, Opcode.NOP, Opcode.HALT
+    ]
+    assert program[2].opcode is Opcode.HALT
+
+
+def test_halting_predicate():
+    assert halting(assemble("nop\nhalt"))
+    assert not halting(assemble("nop"))
+
+
+def test_unknown_label_lookup():
+    program = assemble("nop\nhalt")
+    with pytest.raises(AssemblyError):
+        program.address_of("missing")
+
+
+def test_nested_loops_to_hardware_depth_accepted():
+    source = (
+        "loop 2\nloop 2\nloop 2\nloop 2\nnop\n"
+        "endloop\nendloop\nendloop\nendloop\nhalt"
+    )
+    program = assemble(source)
+    assert len(program) == 10

@@ -1,0 +1,34 @@
+"""Communication profiles."""
+
+import pytest
+
+from repro.power.interconnect import NO_COMMUNICATION, CommProfile
+
+
+def test_defaults():
+    profile = CommProfile()
+    assert profile.words_per_cycle == 0.0
+    assert profile.span_fraction == 1.0
+    assert profile.switching_activity == 0.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CommProfile(words_per_cycle=-1.0)
+    with pytest.raises(ValueError):
+        CommProfile(span_fraction=1.5)
+    with pytest.raises(ValueError):
+        CommProfile(switching_activity=2.0)
+
+
+def test_scaled():
+    profile = CommProfile(words_per_cycle=4.0, span_fraction=0.5)
+    doubled = profile.scaled(2.0)
+    assert doubled.words_per_cycle == 8.0
+    assert doubled.span_fraction == 0.5
+    with pytest.raises(ValueError):
+        profile.scaled(-1.0)
+
+
+def test_no_communication_constant():
+    assert NO_COMMUNICATION.words_per_cycle == 0.0

@@ -1,0 +1,153 @@
+"""The Section 4.1 power model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.interconnect import CommProfile
+from repro.power.model import ComponentSpec, PowerModel, savings_percent
+
+
+def test_tile_dynamic_is_cv2f(power_model):
+    """P = U * (V/Vref)^2 * f * n."""
+    power = power_model.tile_dynamic_mw(8, 120.0, 0.8)
+    assert power == pytest.approx(8 * 120.0 * 0.1 * 0.64)
+
+
+def test_voltage_derivation_uses_curve(power_model):
+    spec = ComponentSpec("x", 8, 120.0)
+    assert power_model.component_power(spec).voltage_v == 0.8
+
+
+def test_pinned_voltage_respected(power_model):
+    spec = ComponentSpec("x", 8, 120.0, voltage_v=1.3)
+    assert power_model.component_power(spec).voltage_v == 1.3
+
+
+def test_svd_matches_paper_row(power_model):
+    """SVD (1 tile, 500 MHz, no comm): paper 114.27 mW."""
+    spec = ComponentSpec("SVD", 1, 500.0)
+    power = power_model.component_power(spec)
+    assert power.voltage_v == 1.5
+    assert power.total_mw == pytest.approx(114.27, rel=0.01)
+    assert power.bus_mw == 0.0
+
+
+def test_pfe_matches_paper_row(power_model):
+    """PFE (16 tiles, 310 MHz, no comm): paper 742.68 mW."""
+    power = power_model.component_power(ComponentSpec("PFE", 16, 310.0))
+    assert power.total_mw == pytest.approx(742.68, rel=0.005)
+
+
+def test_application_power_sums_components(power_model):
+    specs = [
+        ComponentSpec("a", 2, 100.0),
+        ComponentSpec("b", 4, 200.0),
+    ]
+    app = power_model.application_power("app", specs)
+    assert app.total_mw == pytest.approx(
+        sum(c.total_mw for c in app.components)
+    )
+    assert app.n_tiles == 6
+
+
+def test_single_voltage_uses_max_rail(power_model):
+    specs = [
+        ComponentSpec("slow", 2, 60.0),    # 0.7 V
+        ComponentSpec("fast", 4, 500.0),   # 1.5 V
+    ]
+    single = power_model.application_power("app", specs,
+                                           single_voltage=True)
+    assert all(c.voltage_v == 1.5 for c in single.components)
+
+
+def test_single_voltage_never_cheaper(power_model):
+    specs = [
+        ComponentSpec("slow", 2, 60.0, CommProfile(1.0)),
+        ComponentSpec("fast", 4, 500.0),
+    ]
+    multi = power_model.application_power("app", specs)
+    single = power_model.application_power("app", specs,
+                                           single_voltage=True)
+    assert single.total_mw >= multi.total_mw
+
+
+def test_mixer_savings_match_paper(power_model):
+    """DDC mixer: 60% savings from multiple voltages (Table 4)."""
+    specs = [
+        ComponentSpec("Mixer", 8, 120.0, CommProfile(1.112)),
+        ComponentSpec("CFIR", 16, 380.0),  # sets the 1.3 V app rail
+    ]
+    multi = power_model.application_power("ddc", specs)
+    single = power_model.application_power("ddc", specs,
+                                           single_voltage=True)
+    saved = savings_percent(
+        multi.component("Mixer").total_mw,
+        single.component("Mixer").total_mw,
+    )
+    assert saved == pytest.approx(60.0, abs=1.5)
+
+
+def test_component_lookup_raises_on_unknown(power_model):
+    app = power_model.application_power(
+        "app", [ComponentSpec("a", 1, 100.0)]
+    )
+    with pytest.raises(KeyError):
+        app.component("missing")
+
+
+def test_empty_application_rejected(power_model):
+    with pytest.raises(ConfigurationError):
+        power_model.application_power("empty", [])
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ConfigurationError):
+        ComponentSpec("x", 0, 100.0)
+    with pytest.raises(ConfigurationError):
+        ComponentSpec("x", 1, -5.0)
+
+
+def test_with_leakage_changes_only_leakage(power_model):
+    spec = ComponentSpec("x", 4, 200.0)
+    base = power_model.component_power(spec)
+    leaky = power_model.with_leakage(10.0).component_power(spec)
+    assert leaky.dynamic_mw == pytest.approx(base.dynamic_mw)
+    assert leaky.leakage_mw == pytest.approx(10.0 * 4 * base.voltage_v)
+
+
+def test_savings_percent_validation():
+    assert savings_percent(50.0, 100.0) == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        savings_percent(1.0, 0.0)
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=10.0, max_value=500.0),
+)
+def test_power_monotone_in_tiles_and_frequency(n_tiles, frequency):
+    model = PowerModel()
+    base = model.component_power(ComponentSpec("x", n_tiles, frequency))
+    more_tiles = model.component_power(
+        ComponentSpec("x", n_tiles + 1, frequency)
+    )
+    faster = model.component_power(
+        ComponentSpec("x", n_tiles, frequency + 50.0)
+    )
+    assert more_tiles.total_mw > base.total_mw
+    assert faster.total_mw >= base.total_mw
+
+
+@given(st.floats(min_value=10.0, max_value=600.0))
+def test_breakdown_sums_to_total(frequency):
+    model = PowerModel()
+    power = model.component_power(
+        ComponentSpec("x", 4, frequency, CommProfile(2.0))
+    )
+    assert power.total_mw == pytest.approx(
+        power.dynamic_mw + power.bus_mw + power.leakage_mw
+    )
+    assert power.overhead_mw == pytest.approx(
+        power.bus_mw + power.leakage_mw
+    )

@@ -1,0 +1,48 @@
+"""Power report rendering."""
+
+from repro.power.model import ComponentSpec, PowerModel
+from repro.power.report import (
+    format_application_power,
+    format_component_rows,
+    render_table,
+)
+
+
+def _apps():
+    model = PowerModel()
+    specs = [
+        ComponentSpec("alpha", 2, 100.0),
+        ComponentSpec("beta", 4, 400.0),
+    ]
+    multi = model.application_power("app", specs)
+    single = model.application_power("app", specs, single_voltage=True)
+    return multi, single
+
+
+def test_rows_include_total():
+    multi, single = _apps()
+    rows = format_component_rows(multi, single)
+    assert rows[-1][0] == "TOTAL"
+    assert len(rows) == 3
+
+
+def test_rows_savings_are_percentages():
+    multi, single = _apps()
+    for row in format_component_rows(multi, single):
+        assert 0.0 <= row[6] <= 100.0
+
+
+def test_format_application_power_mentions_components():
+    multi, single = _apps()
+    text = format_application_power(multi, single)
+    assert "alpha" in text
+    assert "beta" in text
+    assert "TOTAL" in text
+
+
+def test_render_table_alignment():
+    text = render_table(("A", "B"), [("x", "1"), ("longer", "2")])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("A")
+    assert "longer" in lines[3]

@@ -1,0 +1,56 @@
+"""The Section 4.2 U-parameter derivation chain."""
+
+import pytest
+
+from repro.power.tile_power import (
+    NEC_SPXK5_MW_PER_MHZ,
+    PAPER_U_MW_PER_MHZ,
+    UParameterDerivation,
+    u_reference_mw_per_mhz,
+)
+
+
+def test_tile_subtotal_is_1_89():
+    assert UParameterDerivation().tile_subtotal == pytest.approx(1.89)
+
+
+def test_synthesized_u_is_2_14():
+    assert UParameterDerivation().synthesized_u == pytest.approx(2.14)
+
+
+def test_custom_u_is_0_642():
+    assert UParameterDerivation().custom_u == pytest.approx(0.642)
+
+
+def test_u_at_one_volt_is_about_0_1():
+    derived = u_reference_mw_per_mhz(1.0)
+    assert derived == pytest.approx(0.1027, abs=1e-3)
+    assert abs(derived - PAPER_U_MW_PER_MHZ) < 0.005
+
+
+def test_u_scales_quadratically_with_reference_voltage():
+    derivation = UParameterDerivation()
+    assert derivation.u_at(2.0) == pytest.approx(4.0 * derivation.u_at(1.0))
+
+
+def test_u_at_synthesis_voltage_recovers_custom_u():
+    derivation = UParameterDerivation()
+    assert derivation.u_at(2.5) == pytest.approx(derivation.custom_u)
+
+
+def test_nec_comparison_is_same_order():
+    """Section 4.2's sanity anchor: NEC SPXK5 at 0.07 mW/MHz."""
+    ours = u_reference_mw_per_mhz(1.0)
+    assert 0.5 < ours / NEC_SPXK5_MW_PER_MHZ < 2.0
+
+
+def test_invalid_reference_voltage():
+    with pytest.raises(ValueError):
+        UParameterDerivation().u_at(0.0)
+
+
+def test_memory_dominates_synthesized_power():
+    """The 1.75 mW/MHz data memory dwarfs the 0.03 datapath - the
+    observation that justifies the custom-logic assumption."""
+    derivation = UParameterDerivation()
+    assert derivation.memory > 0.8 * derivation.tile_subtotal

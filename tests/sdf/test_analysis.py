@@ -1,0 +1,117 @@
+"""Repetition vectors, consistency, deadlock (Lee & Messerschmitt)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SdfError
+from repro.sdf.analysis import (
+    check_deadlock_free,
+    is_consistent,
+    iteration_cycles,
+    repetition_vector,
+)
+from repro.sdf.graph import SdfGraph
+
+
+def test_simple_chain():
+    graph = SdfGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_edge("a", "b", produce=3, consume=2)
+    assert repetition_vector(graph) == {"a": 2, "b": 3}
+
+
+def test_decimation_chain():
+    graph = SdfGraph()
+    graph.add_actor("mixer")
+    graph.add_actor("cic")
+    graph.add_edge("mixer", "cic", produce=1, consume=16)
+    assert repetition_vector(graph) == {"mixer": 16, "cic": 1}
+
+
+def test_inconsistent_cycle_detected():
+    graph = SdfGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_edge("a", "b", produce=2, consume=1)
+    graph.add_edge("b", "a", produce=1, consume=1)  # demands q_b == q_a
+    assert not is_consistent(graph)
+    with pytest.raises(SdfError):
+        repetition_vector(graph)
+
+
+def test_consistent_cycle_with_delay():
+    graph = SdfGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_edge("a", "b", produce=1, consume=1)
+    graph.add_edge("b", "a", produce=1, consume=1, initial_tokens=1)
+    assert repetition_vector(graph) == {"a": 1, "b": 1}
+    check_deadlock_free(graph)
+
+
+def test_cycle_without_delay_deadlocks():
+    graph = SdfGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_edge("a", "b", produce=1, consume=1)
+    graph.add_edge("b", "a", produce=1, consume=1)  # no initial tokens
+    with pytest.raises(SdfError, match="deadlock"):
+        check_deadlock_free(graph)
+
+
+def test_disconnected_graph_rejected():
+    graph = SdfGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    with pytest.raises(SdfError):
+        repetition_vector(graph)
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(SdfError):
+        repetition_vector(SdfGraph())
+
+
+def test_deadlock_free_returns_steady_state_tokens():
+    graph = SdfGraph()
+    graph.add_actor("a")
+    graph.add_actor("b")
+    graph.add_edge("a", "b", produce=2, consume=3, initial_tokens=1)
+    tokens = check_deadlock_free(graph)
+    # one iteration returns every channel to its initial marking
+    assert tokens[("a", "b")] == 1
+
+
+def test_iteration_cycles_divides_by_tiles():
+    graph = SdfGraph()
+    graph.add_actor("a", cycles_per_firing=100.0, parallel_tiles=4)
+    graph.add_actor("b", cycles_per_firing=50.0)
+    graph.add_edge("a", "b", produce=1, consume=2)
+    cycles = iteration_cycles(graph)
+    assert cycles["a"] == pytest.approx(2 * 100.0 / 4)
+    assert cycles["b"] == pytest.approx(50.0)
+
+
+@given(
+    rates=st.lists(
+        st.tuples(st.integers(1, 8), st.integers(1, 8)),
+        min_size=1, max_size=6,
+    )
+)
+def test_chain_balance_equations_hold(rates):
+    """For any rate chain, q satisfies every balance equation with
+    the smallest positive integers."""
+    graph = SdfGraph()
+    names = [f"n{i}" for i in range(len(rates) + 1)]
+    for name in names:
+        graph.add_actor(name)
+    for i, (produce, consume) in enumerate(rates):
+        graph.add_edge(names[i], names[i + 1], produce, consume)
+    q = repetition_vector(graph)
+    from math import gcd
+    from functools import reduce
+    for i, (produce, consume) in enumerate(rates):
+        assert q[names[i]] * produce == q[names[i + 1]] * consume
+    assert reduce(gcd, q.values()) == 1
+    assert all(count >= 1 for count in q.values())

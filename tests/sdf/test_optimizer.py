@@ -1,0 +1,116 @@
+"""Automatic parallelization (the paper's future-work tool)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.power.interconnect import CommProfile
+from repro.power.model import PowerModel
+from repro.sdf.optimizer import ParallelizationOptimizer
+from repro.tech.parameters import PAPER_TECHNOLOGY
+from repro.workloads.parallel import ParallelComponent, parallel_studies
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return ParallelizationOptimizer()
+
+
+@pytest.fixture(scope="module")
+def exploration_model():
+    return PowerModel(rails=PAPER_TECHNOLOGY.exploration_rails)
+
+
+def test_minimum_feasible_tiles(optimizer):
+    # CFIR anchored at 16 tiles / 380 MHz cannot run on very few tiles
+    cfir = ParallelComponent("CFIR", 16, 380.0, CommProfile(0.3174))
+    minimum = optimizer.minimum_feasible_tiles(cfir)
+    assert minimum >= 4
+    assert optimizer.component_power_mw(cfir, minimum) is not None
+    if minimum > 1:
+        assert optimizer.component_power_mw(cfir, minimum - 1) is None
+
+
+def test_infeasible_component_raises():
+    optimizer = ParallelizationOptimizer(max_tiles_per_component=2)
+    impossible = ParallelComponent("x", 16, 380.0)
+    with pytest.raises(MappingError):
+        optimizer.minimum_feasible_tiles(impossible)
+
+
+def test_budget_too_small_raises(optimizer):
+    components = list(parallel_studies()["ddc"].components)
+    with pytest.raises(MappingError, match="budget"):
+        optimizer.optimize(components, tile_budget=5)
+
+
+def test_empty_component_list_raises(optimizer):
+    with pytest.raises(MappingError):
+        optimizer.optimize([], tile_budget=10)
+
+
+def test_next_rail_crossing_lowers_voltage(optimizer):
+    mixer = ParallelComponent("Digital Mixer", 8, 120.0)
+    crossing = optimizer.next_rail_crossing(mixer, 2)
+    assert crossing is not None
+    before = optimizer.model.voltage_for(mixer.frequency_at(2))
+    after = optimizer.model.voltage_for(mixer.frequency_at(crossing))
+    assert after < before
+
+
+def test_respects_budget(optimizer):
+    components = list(parallel_studies()["mpeg4"].components)
+    result = optimizer.optimize(components, tile_budget=12)
+    assert result.tiles_used <= 12
+
+
+def test_more_budget_never_hurts(optimizer):
+    components = list(parallel_studies()["stereo"].components)
+    small = optimizer.optimize(components, tile_budget=5)
+    large = optimizer.optimize(components, tile_budget=17)
+    assert large.power_mw <= small.power_mw + 1e-9
+
+
+def test_history_is_monotone_improvement(optimizer):
+    components = list(parallel_studies()["ddc"].components)
+    result = optimizer.optimize(components, tile_budget=50)
+    for step in result.history:
+        assert step.gain_mw > 0.0
+        assert step.power_after_mw < step.power_before_mw
+
+
+@pytest.mark.parametrize("key,budget", [
+    ("ddc", 50), ("stereo", 17), ("wlan", 20), ("mpeg4", 36),
+])
+def test_matches_or_beats_hand_allocation(optimizer,
+                                          exploration_model, key,
+                                          budget):
+    """The auto-allocator should never lose to the paper-derived hand
+    mappings at the same tile budget - the point of the tool the
+    paper's Section 7 proposes."""
+    study = parallel_studies()[key]
+    components = list(study.components)
+    auto = optimizer.optimize(components, tile_budget=budget)
+    hand = exploration_model.application_power(
+        study.name, study.configuration(budget)
+    ).total_mw
+    assert auto.power_mw <= hand * 1.001
+
+
+def test_voltage_floor_stops_the_search():
+    """Section 5.5: once at the voltage floor, stop parallelizing."""
+    optimizer = ParallelizationOptimizer()
+    # A load light enough to reach the 0.7 V floor with few tiles.
+    light = ParallelComponent("light", 2, 100.0, sigma=0.01)
+    result = optimizer.optimize([light], tile_budget=64)
+    assert optimizer.voltage_floor_reached(
+        [light], result.allocations
+    )
+    # and it did NOT spend the whole budget chasing nothing
+    assert result.tiles_used < 64
+
+
+def test_floor_detection(optimizer):
+    slow = ParallelComponent("slow", 2, 40.0)
+    fast = ParallelComponent("fast", 16, 540.0)
+    assert optimizer.voltage_floor_reached([slow], {"slow": 2})
+    assert not optimizer.voltage_floor_reached([fast], {"fast": 16})

@@ -1,0 +1,43 @@
+"""Statistics collection."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.simulator import run_single_column
+
+
+def _stats(source="movi r0, 1\nmovi r1, 2\nhalt", **kwargs):
+    _, stats = run_single_column(assemble(source), **kwargs)
+    return stats
+
+
+def test_issue_counts():
+    stats = _stats()
+    column = stats.column(0)
+    assert column.issued == 2
+    assert column.tile_instructions == (2, 2, 2, 2)
+
+
+def test_issue_rate_and_idle_fraction_bounds():
+    stats = _stats()
+    column = stats.column(0)
+    assert 0.0 < column.issue_rate <= 1.0
+    assert 0.0 <= column.idle_fraction < 1.0
+    assert column.issue_rate + column.idle_fraction \
+        == pytest.approx(1.0, abs=0.01)
+
+
+def test_cycles_per_sample_validation():
+    stats = _stats()
+    with pytest.raises(ValueError):
+        stats.cycles_per_sample(0, 0)
+
+
+def test_frequency_scaling():
+    stats = _stats(reference_mhz=150.0)
+    assert stats.column(0).frequency_mhz == 150.0
+
+
+def test_total_bus_words_zero_without_dou():
+    stats = _stats()
+    assert stats.total_bus_words == 0

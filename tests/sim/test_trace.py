@@ -1,0 +1,34 @@
+"""Trace recorder."""
+
+import pytest
+
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def test_record_and_filter():
+    tracer = Tracer()
+    tracer.record(0, 0, "issued", 0)
+    tracer.record(0, 1, "stalled", 3)
+    tracer.record(1, 0, "bubble", 1)
+    assert len(tracer.for_column(0)) == 2
+    assert tracer.outcomes(0) == "i."
+    assert tracer.outcomes(1) == "s"
+
+
+def test_limit_drops_excess():
+    tracer = Tracer(limit=2)
+    for tick in range(5):
+        tracer.record(tick, 0, "issued", tick)
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        Tracer(limit=0)
+
+
+def test_event_fields():
+    event = TraceEvent(3, 1, "issued", 7)
+    assert event.tick == 3
+    assert event.pc == 7

@@ -1,0 +1,81 @@
+"""Table 2 / Section 4.6 area model, validated against Table 3."""
+
+import pytest
+
+from repro.tech.area import (
+    AreaModel,
+    CONTROLLER_COMPONENT_AREAS_UM2,
+    PAPER_TILE_TOTAL_UM2,
+    TILE_COMPONENT_AREAS_UM2,
+)
+
+
+def test_tile_components_sum_to_paper_total():
+    model = AreaModel()
+    total = model.tile_component_total_um2()
+    assert total == pytest.approx(7_272_620.0)
+    assert total == pytest.approx(PAPER_TILE_TOTAL_UM2, rel=0.001)
+
+
+def test_sram_dominates_tile_area():
+    """The 32 KB SRAM is the largest tile component (Table 2)."""
+    sram = TILE_COMPONENT_AREAS_UM2["32 KB SRAM"]
+    assert sram == max(TILE_COMPONENT_AREAS_UM2.values())
+    assert sram / sum(TILE_COMPONENT_AREAS_UM2.values()) > 0.7
+
+
+def test_scaled_tile_area_near_paper():
+    """Quadratic 0.25->0.13 um scaling lands within 10% of 1.82 mm^2."""
+    model = AreaModel()
+    scaled = model.tile_area_mm2(scaled=True)
+    assert scaled == pytest.approx(1.97, abs=0.02)
+    assert abs(scaled - model.tech.tile_area_mm2) / 1.82 < 0.10
+
+
+def test_column_overhead():
+    model = AreaModel()
+    assert model.column_overhead_mm2() == pytest.approx(0.3375)
+
+
+def test_columns_for_tiles():
+    model = AreaModel()
+    assert model.columns_for_tiles(1) == 1
+    assert model.columns_for_tiles(4) == 1
+    assert model.columns_for_tiles(5) == 2
+    assert model.columns_for_tiles(16) == 4
+    with pytest.raises(ValueError):
+        model.columns_for_tiles(-1)
+
+
+@pytest.mark.parametrize("tiles,paper_mm2,tolerance", [
+    # Table 3 chip areas; the model reconstructs them within ~5%.
+    ([8, 8, 2, 16, 16], 139.88, 0.05),   # DDC
+    ([1, 16], 52.89, 0.05),              # Stereo Vision
+    ([2, 1, 16, 1], 74.05, 0.05),        # 802.11a
+    ([8, 2], 32.32, 0.08),               # MPEG4 QCIF
+])
+def test_chip_area_matches_table3(tiles, paper_mm2, tolerance):
+    model = AreaModel()
+    area = model.chip_area_mm2(tiles)
+    assert abs(area - paper_mm2) / paper_mm2 < tolerance
+
+
+def test_mpeg4_cif_paper_area_is_inconsistent():
+    """Paper: CIF (16 tiles) smaller than QCIF (10 tiles) - we do not
+    reproduce that; our model reports a consistent larger value."""
+    model = AreaModel()
+    qcif = model.chip_area_mm2([8, 2])
+    cif = model.chip_area_mm2([8, 8])
+    assert cif > qcif
+
+
+def test_wider_bus_costs_area():
+    model = AreaModel()
+    narrow = model.chip_area_mm2([16], bus_width_bits=128)
+    wide = model.chip_area_mm2([16], bus_width_bits=1024)
+    assert wide > narrow
+
+
+def test_controller_component_list_present():
+    assert "DOU" in CONTROLLER_COMPONENT_AREAS_UM2
+    assert "sequencer" in CONTROLLER_COMPONENT_AREAS_UM2

@@ -1,0 +1,90 @@
+"""Section 4.4 leakage model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech.leakage import (
+    INTEL_LOW_VT_NA,
+    LEAKAGE_SWEEP_MA_PER_TILE,
+    LeakageModel,
+    leakage_power_mw,
+    per_transistor_na_for_tile_ma,
+    thermal_voltage,
+    tile_leakage_ma_from_per_transistor,
+)
+
+
+def test_thermal_voltage_at_room_temperature():
+    # ~26 mV at room temperature, as the paper states.
+    assert thermal_voltage(27.0) == pytest.approx(0.0259, abs=5e-4)
+
+
+def test_calibrated_model_hits_830_pa():
+    model = LeakageModel.calibrated(target_pa=830.0)
+    assert model.off_current_pa_per_transistor() == pytest.approx(830.0)
+
+
+def test_calibrated_tile_leakage_matches_paper():
+    model = LeakageModel.calibrated()
+    assert model.tile_leakage_ma() == pytest.approx(1.494, abs=1e-3)
+
+
+def test_leakage_increases_with_temperature():
+    cold = LeakageModel(temperature_c=40.0)
+    hot = LeakageModel(temperature_c=80.0)
+    assert (hot.off_current_pa_per_transistor()
+            > cold.off_current_pa_per_transistor())
+
+
+def test_leakage_decreases_with_threshold():
+    low = LeakageModel(v_threshold=0.2)
+    high = LeakageModel(v_threshold=0.4)
+    assert (low.off_current_pa_per_transistor()
+            > high.off_current_pa_per_transistor())
+
+
+def test_sweep_matches_figure_axis():
+    assert LEAKAGE_SWEEP_MA_PER_TILE[0] == 1.5
+    assert LEAKAGE_SWEEP_MA_PER_TILE[-1] == 59.3
+    assert list(LEAKAGE_SWEEP_MA_PER_TILE) == sorted(
+        LEAKAGE_SWEEP_MA_PER_TILE
+    )
+
+
+def test_intel_low_vt_bound_matches_sweep_top():
+    """59.3 mA/tile is the Intel all-low-Vt worst case [41]."""
+    implied = tile_leakage_ma_from_per_transistor(INTEL_LOW_VT_NA * 1000.0)
+    assert implied == pytest.approx(58.5, abs=0.1)
+    assert abs(implied - LEAKAGE_SWEEP_MA_PER_TILE[-1]) < 1.0
+
+
+def test_figure10_na_conversion():
+    """14.8 mA/tile corresponds to ~8.3 nA/transistor (Sec 5.4)."""
+    assert per_transistor_na_for_tile_ma(14.8) == pytest.approx(8.22,
+                                                                abs=0.1)
+
+
+def test_leakage_power():
+    assert leakage_power_mw(1.5, 1.0, 8) == pytest.approx(12.0)
+    assert leakage_power_mw(1.5, 0.7, 0) == 0.0
+    with pytest.raises(ValueError):
+        leakage_power_mw(1.5, 1.0, -1)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=0.5, max_value=2.0),
+    st.integers(min_value=0, max_value=64),
+)
+def test_leakage_power_scales_linearly(ma, voltage, tiles):
+    single = leakage_power_mw(ma, voltage, 1)
+    assert leakage_power_mw(ma, voltage, tiles) == pytest.approx(
+        single * tiles
+    )
+
+
+@given(st.floats(min_value=0.01, max_value=100.0))
+def test_na_ma_roundtrip(tile_ma):
+    na = per_transistor_na_for_tile_ma(tile_ma)
+    back = tile_leakage_ma_from_per_transistor(na * 1000.0)
+    assert back == pytest.approx(tile_ma)

@@ -1,0 +1,57 @@
+"""Table 1 constants and their internal consistency."""
+
+import dataclasses
+
+import pytest
+
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+
+
+def test_paper_values():
+    tech = PAPER_TECHNOLOGY
+    assert tech.feature_size_nm == 130.0
+    assert tech.v_min == 0.7
+    assert tech.v_max == 1.65
+    assert tech.v_threshold == 0.332
+    assert tech.f_max_mhz == 600.0
+    assert tech.tile_power_mw_per_mhz == 0.1
+    assert tech.tile_area_mm2 == 1.82
+    assert tech.wire_capacitance_ff_per_mm == 387.0
+
+
+def test_bus_geometry_consistent():
+    tech = PAPER_TECHNOLOGY
+    assert tech.bus_splits * tech.split_width_bits == tech.bus_width_bits
+    assert tech.bus_width_bits == 256
+    assert tech.bus_splits == 8
+
+
+def test_tile_leakage_is_about_1_5_ma():
+    assert PAPER_TECHNOLOGY.tile_leakage_ma == pytest.approx(1.494, abs=1e-3)
+
+
+def test_voltage_rails_sorted_and_within_curve():
+    rails = PAPER_TECHNOLOGY.voltage_rails
+    assert list(rails) == sorted(rails)
+    assert rails[0] == 0.7
+    assert rails[-1] == 1.7  # Table 4's Viterbi ACS rail
+
+
+def test_exploration_rails_extend_nominal():
+    tech = PAPER_TECHNOLOGY
+    assert set(tech.voltage_rails) <= set(tech.exploration_rails)
+    assert max(tech.exploration_rails) > max(tech.voltage_rails)
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ValueError):
+        TechnologyParameters(v_min=2.0, v_max=1.0)
+    with pytest.raises(ValueError):
+        TechnologyParameters(bus_width_bits=100, bus_splits=8)
+    with pytest.raises(ValueError):
+        TechnologyParameters(voltage_rails=(1.0, 0.7))
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        PAPER_TECHNOLOGY.v_min = 0.5

@@ -1,0 +1,89 @@
+"""Section 4.3 interconnect model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech.wires import BusGeometry, WireModel
+
+
+def test_paper_wire_capacitance():
+    """10 mm semi-global wire: ~3870 fF (Section 4.3)."""
+    model = WireModel()
+    assert model.wire_capacitance_ff(10.0) == pytest.approx(3870.0)
+
+
+def test_drivers_are_negligible():
+    """8 drivers at 10x min size: ~160 fF << 3870 fF wire."""
+    model = WireModel()
+    drivers = model.driver_capacitance_ff()
+    assert drivers == pytest.approx(120.0, abs=60.0)
+    assert drivers < 0.05 * model.wire_capacitance_ff(10.0)
+
+
+def test_bus_geometry_validation():
+    with pytest.raises(ValueError):
+        BusGeometry(width_bits=100, n_splits=8)
+    with pytest.raises(ValueError):
+        BusGeometry(width_bits=0)
+    assert BusGeometry(256, 8).split_width_bits == 32
+
+
+def test_word_energy_paper_anchor():
+    """32 wires over the full 10 mm at 1 V, activity 0.5: ~62 pJ."""
+    model = WireModel()
+    energy = model.word_energy_pj(1.0)
+    assert energy == pytest.approx(61.92, abs=0.1)
+
+
+def test_word_energy_scales_quadratically_with_voltage():
+    model = WireModel()
+    assert model.word_energy_pj(2.0) == pytest.approx(
+        4.0 * model.word_energy_pj(1.0)
+    )
+
+
+def test_word_energy_scales_with_span():
+    model = WireModel()
+    assert model.word_energy_pj(1.0, span_fraction=0.5) == pytest.approx(
+        0.5 * model.word_energy_pj(1.0)
+    )
+
+
+def test_bus_power_identity():
+    """P = words/cycle * E_word * f (pJ * MHz = uW)."""
+    model = WireModel()
+    power = model.bus_power_mw(2.0, 100.0, 1.0)
+    expected = 2.0 * model.word_energy_pj(1.0) * 100.0 / 1000.0
+    assert power == pytest.approx(expected)
+
+
+def test_bus_area_256_bits():
+    """256 wires x 1.04 um x 10 mm = 2.66 mm^2."""
+    model = WireModel()
+    assert model.bus_area_mm2() == pytest.approx(2.662, abs=0.01)
+
+
+def test_validation_errors():
+    model = WireModel()
+    with pytest.raises(ValueError):
+        model.word_energy_pj(1.0, span_fraction=1.5)
+    with pytest.raises(ValueError):
+        model.word_energy_pj(1.0, switching_activity=-0.1)
+    with pytest.raises(ValueError):
+        model.bus_power_mw(-1.0, 100.0, 1.0)
+    with pytest.raises(ValueError):
+        model.wire_capacitance_ff(-1.0)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=20.0),
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.floats(min_value=0.5, max_value=2.1),
+)
+def test_bus_power_non_negative_and_linear_in_words(words, freq, volts):
+    model = WireModel()
+    power = model.bus_power_mw(words, freq, volts)
+    assert power >= 0.0
+    assert model.bus_power_mw(2 * words, freq, volts) == pytest.approx(
+        2 * power, abs=1e-9
+    )

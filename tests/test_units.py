@@ -1,0 +1,50 @@
+"""Unit conventions and conversions."""
+
+import pytest
+
+from repro.units import (
+    mw_to_nw_per_sample,
+    pj_mhz_to_mw,
+    scale_factor,
+)
+
+
+def test_pj_mhz_identity():
+    # 10 pJ at 100 MHz = 1 mW
+    assert pj_mhz_to_mw(10.0, 100.0) == pytest.approx(1.0)
+
+
+def test_nw_per_sample_paper_example():
+    """Section 5.5: 2.43 W at 64e6 samples/s = 38.0 nW/sample."""
+    assert mw_to_nw_per_sample(2430.0, 64.0e6) == pytest.approx(
+        37.97, abs=0.05
+    )
+
+
+def test_nw_per_sample_validation():
+    with pytest.raises(ValueError):
+        mw_to_nw_per_sample(1.0, 0.0)
+
+
+def test_scale_factor():
+    assert scale_factor(250.0, 130.0) == pytest.approx(0.2704)
+    assert scale_factor(130.0, 130.0) == 1.0
+    with pytest.raises(ValueError):
+        scale_factor(0.0, 130.0)
+
+
+def test_errors_hierarchy():
+    from repro.errors import (
+        AssemblyError,
+        ConfigurationError,
+        FrequencyRangeError,
+        MappingError,
+        ReproError,
+        SdfError,
+        SimulationError,
+    )
+
+    for error in (AssemblyError, ConfigurationError, MappingError,
+                  SdfError, SimulationError):
+        assert issubclass(error, ReproError)
+    assert issubclass(FrequencyRangeError, ConfigurationError)

@@ -1,0 +1,72 @@
+"""Table 3 comparator registry and the headline efficiency bands."""
+
+import pytest
+
+from repro.units import mw_to_nw_per_sample
+from repro.workloads.baselines import (
+    TABLE3_PLATFORMS,
+    efficiency_nw_per_sample,
+    efficiency_ratio,
+)
+
+
+def test_section55_ddc_example():
+    """2.43 W at 64 MS/s = 38.0 nW/sample (Section 5.5)."""
+    assert efficiency_nw_per_sample(2430.0, 64.0e6) == pytest.approx(
+        38.0, abs=0.1
+    )
+
+
+def test_section55_blackfin_example():
+    """Blackfin: 280 mW at 112.6 kS/s = 2478 nW/sample."""
+    blackfin = next(
+        f for f in TABLE3_PLATFORMS["DDC"]
+        if "Blackfin" in f.platform
+    )
+    assert blackfin.nw_per_sample == pytest.approx(2486.0, rel=0.01)
+
+
+def test_section55_factor_of_60():
+    """The DDC vs Blackfin ratio is the paper's 'factor of 60'."""
+    blackfin = next(
+        f for f in TABLE3_PLATFORMS["DDC"]
+        if "Blackfin" in f.platform
+    )
+    ratio = efficiency_ratio(2430.0, 64.0e6, blackfin)
+    assert ratio == pytest.approx(65.0, abs=5.0)
+
+
+def test_graychip_asic_within_10x():
+    """DDC vs the Graychip ASIC: we are ~10X less efficient."""
+    graychip = next(
+        f for f in TABLE3_PLATFORMS["DDC"] if "Graychip" in f.platform
+    )
+    ratio = efficiency_ratio(2430.0, 64.0e6, graychip)
+    assert ratio is not None
+    assert 1.0 / ratio == pytest.approx(9.7, abs=1.0)
+
+
+def test_unknown_rate_returns_none():
+    from repro.workloads.baselines import PlatformFigure
+    figure = PlatformFigure("x", "y", "asic", None, None, 100.0, "?",
+                            None)
+    assert figure.nw_per_sample is None
+    assert efficiency_ratio(100.0, 1e6, figure) is None
+
+
+def test_every_application_has_comparators():
+    for label in ("DDC", "Stereo Vision", "802.11a", "MPEG4 QCIF",
+                  "MPEG4 CIF"):
+        assert TABLE3_PLATFORMS[label]
+
+
+def test_platform_kinds_are_classified():
+    kinds = {
+        f.kind for rows in TABLE3_PLATFORMS.values() for f in rows
+    }
+    assert kinds <= {"programmable", "asic", "fpga", "soc"}
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        mw_to_nw_per_sample(100.0, 0.0)

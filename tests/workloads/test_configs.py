@@ -1,0 +1,125 @@
+"""Table 4 configurations reproduce the paper's rows."""
+
+import pytest
+
+from repro.power.model import PowerModel, savings_percent
+from repro.workloads.configs import all_applications, application
+
+#: Paper rows with internal inconsistencies (documented in
+#: EXPERIMENTS.md) that the consistent model does not chase.
+_KNOWN_DIVERGENT = {
+    ("802.11a + AES", "FFT"),            # paper lists two FFT values
+    ("MPEG4 QCIF", "DCT/Quant/IQ/IDCT"),  # row duplicates a demod row
+    ("MPEG4 CIF", "DCT/Quant/IQ/IDCT"),   # below leakage+dynamic floor
+}
+
+
+def test_application_lookup():
+    assert application("ddc").name == "DDC"
+    with pytest.raises(KeyError):
+        application("ghost")
+
+
+def test_all_applications_complete():
+    apps = all_applications()
+    assert set(apps) == {
+        "ddc", "stereo", "wlan", "wlan_aes", "mpeg4_qcif", "mpeg4_cif",
+    }
+
+
+@pytest.mark.parametrize("key", sorted(all_applications()))
+def test_voltages_derive_to_paper_rails(power_model, key):
+    """Every component lands on its Table 4 voltage via the curve."""
+    expected_rails = {
+        "ddc": {"Digital Mixer": 0.8, "CIC Integrator": 1.0,
+                "CIC Comb": 0.7, "CFIR": 1.3, "PFIR": 1.3},
+        "stereo": {"SVD": 1.5, "PFE": 1.2},
+        "wlan": {"FFT": 0.8, "De-mod/De-Interleave": 0.7,
+                 "Viterbi ACS": 1.7, "Viterbi Traceback": 1.2},
+        "wlan_aes": {"AES": 0.8},
+        "mpeg4_qcif": {"Motion Estimation": 0.7,
+                       "DCT/Quant/IQ/IDCT": 0.7},
+        "mpeg4_cif": {"Motion Estimation": 1.1,
+                      "DCT/Quant/IQ/IDCT": 0.7},
+    }
+    config = application(key)
+    power = power_model.application_power(config.name, config.specs)
+    for name, rail in expected_rails[key].items():
+        assert power.component(name).voltage_v == rail, name
+
+
+@pytest.mark.parametrize("key", sorted(all_applications()))
+def test_component_power_matches_paper_rows(power_model, key):
+    """Consistent Table 4 rows reproduce within 2%."""
+    config = application(key)
+    power = power_model.application_power(config.name, config.specs)
+    for component in power.components:
+        paper = config.paper_component_mw[component.name]
+        if (config.name, component.name) in _KNOWN_DIVERGENT:
+            continue
+        assert component.total_mw == pytest.approx(paper, rel=0.02), \
+            component.name
+
+
+def test_ddc_total_matches_row_sum(power_model):
+    config = application("ddc")
+    power = power_model.application_power(config.name, config.specs)
+    row_sum = sum(config.paper_component_mw.values())
+    assert power.total_mw == pytest.approx(row_sum, rel=0.01)
+
+
+def test_stereo_savings_match_paper(power_model):
+    """SV: 32% whole-application savings (Table 4)."""
+    config = application("stereo")
+    multi = power_model.application_power(config.name, config.specs)
+    single = power_model.application_power(
+        config.name, config.specs, single_voltage=True
+    )
+    saved = savings_percent(multi.total_mw, single.total_mw)
+    assert saved == pytest.approx(32.0, abs=1.5)
+
+
+def test_wlan_savings_small_as_paper_says(power_model):
+    """802.11a gains little from voltage scaling (paper: 3%)."""
+    config = application("wlan")
+    multi = power_model.application_power(config.name, config.specs)
+    single = power_model.application_power(
+        config.name, config.specs, single_voltage=True
+    )
+    saved = savings_percent(multi.total_mw, single.total_mw)
+    assert saved == pytest.approx(3.0, abs=1.5)
+
+
+def test_pfe_single_voltage_row(power_model):
+    """PFE at the app's 1.5 V rail: paper says 1151.55 mW."""
+    config = application("stereo")
+    single = power_model.application_power(
+        config.name, config.specs, single_voltage=True
+    )
+    assert single.component("PFE").total_mw == pytest.approx(
+        1151.55, rel=0.01
+    )
+
+
+def test_mixer_single_voltage_row(power_model):
+    """Mixer at the DDC's 1.3 V rail: paper says 191.83 mW."""
+    config = application("ddc")
+    single = power_model.application_power(
+        config.name, config.specs, single_voltage=True
+    )
+    assert single.component("Digital Mixer").total_mw == pytest.approx(
+        191.83, rel=0.01
+    )
+
+
+def test_tile_counts_match_table4():
+    expected = {"ddc": 50, "stereo": 17, "wlan": 20, "wlan_aes": 36,
+                "mpeg4_qcif": 10, "mpeg4_cif": 16}
+    for key, tiles in expected.items():
+        assert application(key).n_tiles == tiles
+
+
+def test_notes_document_paper_quirks():
+    assert application("ddc").notes
+    assert application("mpeg4_qcif").notes
+    assert application("wlan_aes").notes

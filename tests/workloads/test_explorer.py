@@ -1,0 +1,126 @@
+"""Figure 8 bus-width study and Figure 9/10 leakage sweeps."""
+
+import math
+
+import pytest
+
+from repro.tech.leakage import LEAKAGE_SWEEP_MA_PER_TILE
+from repro.workloads.explorer import LeakageStudy, ViterbiBusStudy
+from repro.workloads.parallel import parallel_studies
+
+
+@pytest.fixture(scope="module")
+def bus_study():
+    return ViterbiBusStudy()
+
+
+class TestViterbiBusStudy:
+    def test_anchor_point_matches_table4(self, bus_study):
+        point = bus_study.evaluate(16, 256)
+        assert point.feasible
+        assert point.frequency_mhz == pytest.approx(540.0, rel=1e-6)
+        assert point.voltage_v == 1.7
+        assert point.power_mw == pytest.approx(3848.0, rel=0.01)
+
+    def test_narrower_bus_needs_higher_frequency(self, bus_study):
+        frequencies = [
+            bus_study.required_frequency_mhz(16, w)
+            for w in (32, 64, 128, 256, 512, 1024)
+        ]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_halving_width_doubles_comm_cycles(self, bus_study):
+        wide = bus_study.comm_cycles_per_step(16, 256)
+        narrow = bus_study.comm_cycles_per_step(16, 128)
+        assert narrow == pytest.approx(2.0 * wide)
+
+    def test_more_tiles_less_compute_per_tile(self, bus_study):
+        assert (bus_study.compute_cycles_per_step(32)
+                < bus_study.compute_cycles_per_step(16)
+                < bus_study.compute_cycles_per_step(8))
+
+    def test_paper_knee_at_256_bits(self, bus_study):
+        """128->256 helps a lot; 256->512 helps much less (Sec 5.3)."""
+        p128 = bus_study.evaluate(16, 128)
+        p256 = bus_study.evaluate(16, 256)
+        p512 = bus_study.evaluate(16, 512)
+        first_doubling = p128.power_mw - p256.power_mw
+        second_doubling = p256.power_mw - p512.power_mw
+        assert first_doubling > 4.0 * max(second_doubling, 1.0)
+
+    def test_wider_bus_lower_power_but_more_area(self, bus_study):
+        """Sec 5.3: lower power is attainable past 256 bits, at a
+        significant area cost."""
+        p256 = bus_study.evaluate(16, 256)
+        p512 = bus_study.evaluate(16, 512)
+        assert p512.power_mw < p256.power_mw
+        assert p512.area_mm2 > 1.25 * p256.area_mm2
+
+    def test_narrow_buses_infeasible(self, bus_study):
+        """32/64-bit buses cannot sustain 54 Mbps at any voltage."""
+        for width in (32, 64):
+            point = bus_study.evaluate(16, width)
+            assert not point.feasible
+            assert math.isnan(point.power_mw)
+
+    def test_sweep_covers_grid(self, bus_study):
+        points = bus_study.sweep()
+        assert len(points) == 18
+        assert {p.n_tiles for p in points} == {8, 16, 32}
+
+    def test_32_tile_curve_reaches_figure8_right_edge(self, bus_study):
+        """32 tiles at 1024 bits sits near 160 mm^2 in Figure 8."""
+        point = bus_study.evaluate(32, 1024)
+        assert point.area_mm2 == pytest.approx(157.0, abs=5.0)
+
+
+class TestLeakageStudy:
+    def test_series_cover_all_allocations(self):
+        study = LeakageStudy(parallel_studies()["mpeg4"])
+        series = study.series()
+        assert [s.n_tiles for s in series] == [8, 12, 20, 36]
+        for line in series:
+            assert len(line.power_mw) == len(LEAKAGE_SWEEP_MA_PER_TILE)
+
+    def test_power_increases_with_leakage(self):
+        study = LeakageStudy(parallel_studies()["ddc"])
+        for line in study.series():
+            assert list(line.power_mw) == sorted(line.power_mw)
+
+    def test_slope_scales_with_tile_count(self):
+        """More tiles leak more: the 50-tile DDC line is steeper."""
+        study = LeakageStudy(parallel_studies()["ddc"])
+        series = {s.n_tiles: s for s in study.series()}
+        def slope(line):
+            return (line.power_mw[-1] - line.power_mw[0]) / (
+                line.leakage_ma[-1] - line.leakage_ma[0]
+            )
+        assert slope(series[50]) > slope(series[26]) > slope(series[14])
+
+    def test_mpeg4_crossover_near_paper(self):
+        """Figure 10: the 12 vs 36 tile crossover sits near 14.8 mA."""
+        study = LeakageStudy(parallel_studies()["mpeg4"])
+        crossing = study.crossover_ma(12, 36)
+        assert crossing is not None
+        assert 7.4 < crossing < 22.2  # within one sweep gridpoint
+
+    def test_crossover_consistent_with_series(self):
+        """Below the crossover 36 tiles wins; above it 12 wins."""
+        study = LeakageStudy(parallel_studies()["mpeg4"])
+        crossing = study.crossover_ma(12, 36)
+        below = study._power_at(36, crossing - 2.0) \
+            - study._power_at(12, crossing - 2.0)
+        above = study._power_at(36, crossing + 2.0) \
+            - study._power_at(12, crossing + 2.0)
+        assert below < 0 < above
+
+    def test_ddc_50_vs_26_crossover_exists(self):
+        """Figure 9 shows the 50-tile DDC losing at high leakage."""
+        study = LeakageStudy(parallel_studies()["ddc"])
+        crossing = study.crossover_ma(26, 50)
+        assert crossing is not None
+        assert 1.5 < crossing < 59.3
+
+    def test_identical_configs_have_no_crossover(self):
+        study = LeakageStudy(parallel_studies()["mpeg4"])
+        assert study.crossover_ma(12, 12) is None

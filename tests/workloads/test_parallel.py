@@ -1,0 +1,169 @@
+"""Parallelization models (Figures 7/9/10 configurations)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.interconnect import CommProfile
+from repro.power.model import PowerModel
+from repro.tech.parameters import PAPER_TECHNOLOGY
+from repro.workloads.parallel import (
+    ParallelComponent,
+    ParallelStudy,
+    parallel_studies,
+)
+
+
+@pytest.fixture(scope="module")
+def exploration_model():
+    return PowerModel(rails=PAPER_TECHNOLOGY.exploration_rails)
+
+
+def test_anchor_reproduces_table4_frequency():
+    component = ParallelComponent("CFIR", 16, 380.0)
+    assert component.frequency_at(16) == pytest.approx(380.0)
+
+
+def test_fewer_tiles_need_higher_frequency():
+    component = ParallelComponent("CFIR", 16, 380.0)
+    assert component.frequency_at(8) > 380.0
+    assert component.frequency_at(32) < 380.0
+
+
+def test_efficiency_penalty_grows_with_tiles():
+    component = ParallelComponent("x", 8, 100.0, sigma=0.1)
+    # aggregate MHz-tiles grows with the tile count
+    assert (component.frequency_at(16) * 16
+            > component.frequency_at(8) * 8)
+
+
+def test_comm_zero_for_single_tile_and_silent_components():
+    noisy = ParallelComponent("x", 8, 100.0, CommProfile(2.0))
+    silent = ParallelComponent("y", 8, 100.0, CommProfile(0.0))
+    assert noisy.comm_at(1).words_per_cycle == 0.0
+    assert silent.comm_at(16).words_per_cycle == 0.0
+
+
+def test_comm_words_grow_with_tiles():
+    component = ParallelComponent("x", 8, 100.0, CommProfile(2.0))
+    fewer = component.comm_at(4).words_per_cycle
+    anchor = component.anchor_comm.words_per_cycle
+    more = component.comm_at(16).words_per_cycle
+    assert fewer < anchor < more
+
+
+def test_span_shrinks_with_columns_but_respects_floor():
+    component = ParallelComponent("x", 8, 100.0, CommProfile(2.0),
+                                  span_floor=0.4)
+    assert component.comm_at(32).span_fraction == pytest.approx(
+        max(0.4, 3.0 / 9.0)
+    )
+    pinned = ParallelComponent("y", 8, 100.0, CommProfile(2.0),
+                               span_floor=1.0)
+    assert pinned.comm_at(32).span_fraction == 1.0
+
+
+def test_spec_at_anchor_uses_anchor_comm():
+    profile = CommProfile(2.0, span_fraction=0.5)
+    component = ParallelComponent("x", 8, 100.0, profile)
+    assert component.spec_at(8).comm == profile
+
+
+def test_invalid_tile_count():
+    component = ParallelComponent("x", 8, 100.0)
+    with pytest.raises(ConfigurationError):
+        component.efficiency_factor(0)
+
+
+def test_studies_have_figure_axis_points():
+    studies = parallel_studies()
+    assert studies["ddc"].tile_points == [14, 26, 50]
+    assert studies["stereo"].tile_points == [5, 9, 17]
+    assert studies["wlan"].tile_points == [12, 20, 36]
+    assert studies["mpeg4"].tile_points == [8, 12, 20, 36]
+
+
+def test_allocation_sums_validated():
+    with pytest.raises(ConfigurationError):
+        ParallelStudy(
+            name="bad",
+            components=(ParallelComponent("a", 4, 100.0),),
+            allocations={8: {"a": 4}},  # sums to 4, not 8
+        )
+    with pytest.raises(ConfigurationError):
+        ParallelStudy(
+            name="bad",
+            components=(ParallelComponent("a", 4, 100.0),),
+            allocations={4: {"b": 4}},  # wrong component name
+        )
+
+
+def test_unknown_allocation_rejected():
+    study = parallel_studies()["ddc"]
+    with pytest.raises(ConfigurationError):
+        study.configuration(99)
+    with pytest.raises(KeyError):
+        study.component("ghost")
+
+
+@pytest.mark.parametrize("key", ["ddc", "stereo", "wlan", "mpeg4"])
+def test_all_configurations_feasible(exploration_model, key):
+    """Every figure configuration quantizes onto some rail."""
+    study = parallel_studies()[key]
+    for total in study.tile_points:
+        power = exploration_model.application_power(
+            study.name, study.configuration(total)
+        )
+        assert power.total_mw > 0.0
+        assert power.n_tiles == total
+
+
+def test_anchor_configurations_match_table4(exploration_model,
+                                            power_model):
+    """The largest DDC/SV/802.11a points ARE the Table 4 mappings."""
+    from repro.workloads.configs import application
+    pairs = [("ddc", 50), ("stereo", 17), ("wlan", 20)]
+    studies = parallel_studies()
+    for key, tiles in pairs:
+        study_power = exploration_model.application_power(
+            key, studies[key].configuration(tiles)
+        )
+        config = application(key)
+        table4_power = power_model.application_power(
+            config.name, config.specs
+        )
+        assert study_power.total_mw == pytest.approx(
+            table4_power.total_mw, rel=1e-6
+        )
+
+
+def test_parallelization_reduces_power_for_ddc_sv_mpeg4(
+    exploration_model,
+):
+    """Figure 7's headline: more tiles, less power (at nominal leak)."""
+    studies = parallel_studies()
+    for key in ("ddc", "stereo", "mpeg4"):
+        study = studies[key]
+        totals = [
+            exploration_model.application_power(
+                study.name, study.configuration(t)
+            ).total_mw
+            for t in study.tile_points
+        ]
+        assert totals == sorted(totals, reverse=True), key
+
+
+def test_wlan_shows_diminishing_returns(exploration_model):
+    """802.11a's 36-tile point barely improves on 20 tiles while its
+    interconnect share grows (Section 5.2)."""
+    study = parallel_studies()["wlan"]
+    p20 = exploration_model.application_power(
+        study.name, study.configuration(20)
+    )
+    p36 = exploration_model.application_power(
+        study.name, study.configuration(36)
+    )
+    gain = (p20.total_mw - p36.total_mw) / p20.total_mw
+    assert gain < 0.10
+    share20 = p20.overhead_mw / p20.total_mw
+    share36 = p36.overhead_mw / p36.total_mw
+    assert share36 > share20

@@ -1,0 +1,94 @@
+"""Integer-divider realization analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.interconnect import CommProfile
+from repro.power.model import ComponentSpec, PowerModel
+from repro.workloads.configs import all_applications, application
+from repro.workloads.realization import (
+    best_reference,
+    realize_application,
+    realize_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel()
+
+
+def test_exact_division_has_no_overhead(model):
+    spec = ComponentSpec("x", 4, 100.0)
+    realized = realize_spec(spec, reference_mhz=400.0, model=model)
+    assert realized.divider == 4
+    assert realized.actual_mhz == pytest.approx(100.0)
+    assert realized.overhead_fraction == pytest.approx(0.0)
+
+
+def test_inexact_division_overshoots_from_above(model):
+    spec = ComponentSpec("x", 4, 120.0)
+    realized = realize_spec(spec, reference_mhz=500.0, model=model)
+    assert realized.divider == 4
+    assert realized.actual_mhz == pytest.approx(125.0)
+    assert realized.actual_mhz >= spec.frequency_mhz
+    assert realized.realized_mw > realized.ideal_mw
+
+
+def test_reference_below_requirement_rejected(model):
+    spec = ComponentSpec("x", 4, 300.0)
+    with pytest.raises(ConfigurationError):
+        realize_spec(spec, reference_mhz=200.0, model=model)
+
+
+def test_comm_words_per_second_preserved(model):
+    spec = ComponentSpec("x", 4, 120.0, CommProfile(2.0))
+    realized = realize_spec(spec, reference_mhz=500.0, model=model)
+    # words/s = wpc * f must be invariant
+    assert realized.actual_mhz * 2.0 * (120.0 / 125.0) \
+        == pytest.approx(spec.frequency_mhz * 2.0)
+
+
+def test_overshoot_can_cross_a_rail(model):
+    """A 200 MHz task realized at 380 MHz needs 1.3 V, not 1.0 V -
+    the hidden cost of integer dividers."""
+    spec = ComponentSpec("integrator", 8, 200.0)
+    realized = realize_spec(spec, reference_mhz=380.0, model=model)
+    assert realized.actual_mhz == pytest.approx(380.0)
+    assert realized.voltage_v == 1.3
+    assert realized.overhead_fraction > 0.5
+
+
+def test_application_realization_sums_components(model):
+    config = application("stereo")
+    result = realize_application(config.specs, 620.0, model)
+    assert result.realized_mw == pytest.approx(
+        sum(c.realized_mw for c in result.components)
+    )
+    assert result.realized_mw >= result.ideal_mw
+
+
+@pytest.mark.parametrize("key", sorted(all_applications()))
+def test_best_reference_keeps_overhead_single_digit(model, key):
+    """With a well-chosen PLL frequency, the divider granularity
+    costs under 10% on every application."""
+    config = application(key)
+    best = best_reference(config.specs, model=model)
+    assert best.overhead_fraction < 0.10
+    assert best.realized_mw >= best.ideal_mw * 0.999
+
+
+def test_best_reference_beats_naive_choice(model):
+    """Searching references matters: the naive 'max component
+    frequency' reference is much worse for the DDC."""
+    config = application("ddc")
+    naive = realize_application(config.specs, 380.0, model)
+    best = best_reference(config.specs, model=model)
+    assert best.realized_mw < naive.realized_mw
+
+
+def test_candidate_list_respected(model):
+    config = application("mpeg4_qcif")
+    result = best_reference(config.specs, candidates=[420.0],
+                            model=model)
+    assert result.reference_mhz == 420.0
