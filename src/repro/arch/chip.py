@@ -179,13 +179,18 @@ class Chip:
         """Whether every column program has finished."""
         return all(col.halted for col in self.columns)
 
-    def step_reference_tick(self) -> None:
+    def step_reference_tick(self, observers: tuple = ()) -> None:
         """One reference-clock tick: buses first, then due columns.
 
         The DOUs run at the bus (maximum) frequency every tick; a
         column's tiles advance only on their divided clock edges, so
         words crossing domains sit in the voltage-adapting buffers in
         between - exactly the paper's decoupled communication model.
+
+        ``observers`` are notified of every tile-clock issue outcome
+        via ``observer.record(tick, column, outcome, pc)`` - the hook
+        behind tracing, so traced and untraced runs share this single
+        stepping loop.
         """
         tick = self.reference_ticks
         for column in self.columns:
@@ -194,7 +199,13 @@ class Chip:
             self.horizontal_dou.step()
         for index, column in enumerate(self.columns):
             if self.clock.ticks(index, tick):
-                column.step_tile_clock()
+                if observers:
+                    pc = column.controller.pc
+                    outcome = column.step_tile_clock()
+                    for observer in observers:
+                        observer.record(tick, index, outcome, pc)
+                else:
+                    column.step_tile_clock()
         self.reference_ticks += 1
 
     # ------------------------------------------------------------------

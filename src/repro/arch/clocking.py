@@ -48,6 +48,34 @@ class ClockTree:
             period = math.lcm(period, divider)
         return period
 
+    def edge_schedule(self) -> tuple:
+        """Per-hyperperiod edge table: offset -> columns with an edge.
+
+        Entry ``o`` lists (ascending) the columns whose divided clock
+        has an edge at reference ticks congruent to ``o`` modulo the
+        hyperperiod.  Because every divider divides the hyperperiod,
+        this table is exact for the whole run - the static activity
+        schedule the compiled simulation engine strides over.
+        """
+        period = self.hyperperiod()
+        return tuple(
+            tuple(
+                column
+                for column, divider in enumerate(self.dividers)
+                if offset % divider == 0
+            )
+            for offset in range(period)
+        )
+
+    def edges_in(self, column: int, start: int, stop: int) -> int:
+        """Number of clock edges of ``column`` in ticks [start, stop)."""
+        if stop <= start:
+            return 0
+        divider = self.dividers[column]
+        first = (start + divider - 1) // divider
+        last = (stop + divider - 1) // divider
+        return last - first
+
     def ratio(self, a: int, b: int) -> tuple:
         """Reduced rational frequency ratio f_a : f_b."""
         numerator, denominator = self.dividers[b], self.dividers[a]

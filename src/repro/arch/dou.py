@@ -95,6 +95,27 @@ class DouProgram:
         """A DOU that never moves data (compute-only columns)."""
         return cls(states=(DouState(),), name="idle")
 
+    def is_inert(self) -> bool:
+        """Whether no reachable state can ever move a word.
+
+        Walks every state reachable from the reset state through
+        either transition edge.  An inert program's execution is
+        invisible to simulation statistics (no drives, no captures, so
+        no retired words and no blocked cycles), which lets a compiled
+        engine skip stepping it entirely.
+        """
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            state = self.states[frontier.pop()]
+            if state.drives or state.captures:
+                return False
+            for nxt in (state.next_if_zero, state.next_otherwise):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return True
+
 
 @dataclass(frozen=True)
 class DouCycle:
@@ -190,6 +211,21 @@ class Dou:
     def state(self) -> DouState:
         """The current state."""
         return self.program.states[self.state_index]
+
+    def fast_forward(self, n_cycles: int) -> None:
+        """Account ``n_cycles`` skipped cycles of an inert program.
+
+        Only valid when :meth:`DouProgram.is_inert` holds: no reachable
+        state moves a word, so skipping leaves every statistic except
+        the cycle count untouched (the state pointer is deliberately
+        not advanced - it can never reach a transferring state).
+        """
+        if not self.program.is_inert():
+            raise SimulationError(
+                f"{self.program.name}: fast_forward on a DOU that "
+                f"moves data"
+            )
+        self.cycles += n_cycles
 
     def _advance(self) -> None:
         state = self.state

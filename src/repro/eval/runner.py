@@ -5,6 +5,10 @@ Options::
     python -m repro.eval.runner                      # all, to stdout
     python -m repro.eval.runner --experiment fig8    # one experiment
     python -m repro.eval.runner --output results/    # write .txt files
+    python -m repro.eval.runner --jobs 4             # render in parallel
+
+Experiments are independent pure functions of the model, so they
+render concurrently through :func:`repro.sim.batch.parallel_map`.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from pathlib import Path
 
 from repro.eval import fig5, fig6, fig7, fig8, fig9, fig10
 from repro.eval import table1, table2, table3, table4
+from repro.sim.batch import parallel_map
 
 _EXPERIMENTS = {
     "table1": table1,
@@ -29,8 +34,18 @@ _EXPERIMENTS = {
 }
 
 
-def run_all(names: list | None = None) -> dict:
-    """{experiment id: rendered text} for the selected experiments."""
+def _render(name: str) -> str:
+    """Render one experiment (module-level for worker pickling)."""
+    return _EXPERIMENTS[name].render()
+
+
+def run_all(names: list | None = None, jobs: int | None = 1) -> dict:
+    """{experiment id: rendered text} for the selected experiments.
+
+    ``jobs`` fans the renders across worker processes
+    (``jobs=1``, the default, stays in-process; ``jobs=None`` sizes
+    the pool to the host).
+    """
     selected = names or list(_EXPERIMENTS)
     unknown = set(selected) - set(_EXPERIMENTS)
     if unknown:
@@ -38,7 +53,8 @@ def run_all(names: list | None = None) -> dict:
             f"unknown experiment(s) {sorted(unknown)}; valid: "
             f"{sorted(_EXPERIMENTS)}"
         )
-    return {name: _EXPERIMENTS[name].render() for name in selected}
+    rendered = parallel_map(_render, selected, processes=jobs)
+    return dict(zip(selected, rendered))
 
 
 def write_results(outputs: dict, directory: str) -> list:
@@ -67,8 +83,13 @@ def main(argv: list | None = None) -> None:
         "--output", "-o", default=None, metavar="DIR",
         help="write each experiment to DIR/<name>.txt",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="render N experiments in parallel (0 = one per CPU)",
+    )
     args = parser.parse_args(argv)
-    outputs = run_all(args.experiments)
+    jobs = None if args.jobs == 0 else args.jobs
+    outputs = run_all(args.experiments, jobs=jobs)
     if args.output:
         for target in write_results(outputs, args.output):
             print(f"wrote {target}")

@@ -63,7 +63,7 @@ class KernelRun:
         )
 
 
-def run_kernel(kernel: Kernel) -> KernelRun:
+def run_kernel(kernel: Kernel, engine: str = "reference") -> KernelRun:
     """Execute a kernel to halt and verify it against its reference."""
     chip, stats = run_single_column(
         kernel.program,
@@ -73,6 +73,7 @@ def run_kernel(kernel: Kernel) -> KernelRun:
         read_primes=kernel.read_primes,
         strict_schedules=kernel.strict,
         max_ticks=kernel.max_ticks,
+        engine=engine,
     )
     run = KernelRun(kernel=kernel, chip=chip, stats=stats)
     kernel.checker(chip, stats)

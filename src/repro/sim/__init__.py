@@ -6,14 +6,42 @@ chip at reference-clock granularity (the bus/DOU rate), stepping each
 column's tiles on its divided clock edges, and gathers the statistics
 the Section 4.1 methodology consumes: cycles per input sample, bus
 words moved, stall and idle cycles.
+
+Two engines implement that contract (:mod:`repro.sim.engine`): the
+tick-accurate ``ReferenceEngine`` and the hyperperiod-compiled
+``CompiledEngine``, which skips statically dead reference ticks.
+:mod:`repro.sim.batch` fans many chip configurations across worker
+processes behind a content-hash result cache.
 """
 
+from repro.sim.batch import (
+    BatchResult,
+    ResultCache,
+    RunRequest,
+    parallel_map,
+    run_many,
+)
+from repro.sim.engine import (
+    CompiledEngine,
+    Engine,
+    ReferenceEngine,
+    create_engine,
+)
 from repro.sim.simulator import Simulator, run_single_column
 from repro.sim.stats import ColumnStats, SimulationStats
 from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
+    "BatchResult",
+    "CompiledEngine",
+    "Engine",
+    "ReferenceEngine",
+    "ResultCache",
+    "RunRequest",
     "Simulator",
+    "create_engine",
+    "parallel_map",
+    "run_many",
     "run_single_column",
     "ColumnStats",
     "SimulationStats",

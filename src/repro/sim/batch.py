@@ -1,0 +1,235 @@
+"""Batched parallel simulation runs with content-hash caching.
+
+Design-space exploration wants hundreds of chip configurations
+simulated, and almost all of them are pure functions of their inputs:
+the same programs on the same dividers always yield the same
+statistics.  ``run_many`` exploits both facts - it fans a list of
+:class:`RunRequest` descriptions across a ``multiprocessing`` pool
+(falling back to in-process execution on small batches or single-CPU
+hosts) and memoizes every result in a content-addressed
+:class:`ResultCache`, optionally persisted to disk so repeated sweeps
+pay only for the points that changed.
+
+``parallel_map`` is the underlying fan-out primitive, also used by
+the evaluation runner to render independent experiments concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, replace
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.arch.chip import Chip
+from repro.arch.config import ChipConfig
+from repro.arch.dou import DouProgram
+from repro.sim.engine import DEFAULT_MAX_TICKS, create_engine
+from repro.sim.stats import SimulationStats
+
+__all__ = [
+    "BatchResult",
+    "ResultCache",
+    "RunRequest",
+    "build_chip",
+    "execute",
+    "parallel_map",
+    "request_key",
+    "run_many",
+]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One self-contained, picklable simulation job.
+
+    Only data crosses the process boundary - no callables - so a
+    request can be hashed, shipped to a worker, and replayed later:
+
+    ``memory_images``
+        ``(column, tile, base, (words...))`` preload tuples.
+    ``input_words``
+        ``(column, (words...))`` horizontal-in port feeds.
+    ``read_primes``
+        ``(column, tile, (words...))`` read-buffer seeds (the
+        architectural form of SDF initial tokens).
+    """
+
+    config: ChipConfig
+    programs: tuple
+    dou_programs: tuple | None = None
+    horizontal_dou: DouProgram | None = None
+    memory_images: tuple = ()
+    input_words: tuple = ()
+    read_primes: tuple = ()
+    max_ticks: int = DEFAULT_MAX_TICKS
+    drain_hyperperiods: int = 2
+    engine: str = "compiled"
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One finished (or cache-served) batch entry."""
+
+    label: str
+    key: str
+    stats: SimulationStats
+    cached: bool
+
+
+def request_key(request: RunRequest) -> str:
+    """Content hash of a request (stable within an interpreter run).
+
+    The key is a SHA-256 over the pickled request, so any change to
+    the configuration, programs, schedules, or data yields a new cache
+    entry; the ``label`` is presentation-only and excluded.
+    """
+    blob = pickle.dumps(replace(request, label=""), protocol=4)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def build_chip(request: RunRequest) -> Chip:
+    """Materialize a request's chip with all data loaded."""
+    chip = Chip(
+        request.config,
+        programs=list(request.programs),
+        dou_programs=(
+            list(request.dou_programs)
+            if request.dou_programs is not None else None
+        ),
+        horizontal_dou=request.horizontal_dou,
+    )
+    for column, tile, base, words in request.memory_images:
+        chip.columns[column].tiles[tile].load_memory(base, list(words))
+    for column, words in request.input_words:
+        chip.feed_column(column, list(words))
+    for column, tile, words in request.read_primes:
+        for word in words:
+            chip.columns[column].tiles[tile].read_buffer.push(word)
+    return chip
+
+
+def execute(request: RunRequest) -> SimulationStats:
+    """Run one request to completion (worker entry point)."""
+    chip = build_chip(request)
+    engine = create_engine(request.engine, chip)
+    return engine.run(
+        max_ticks=request.max_ticks,
+        drain_hyperperiods=request.drain_hyperperiods,
+    )
+
+
+class ResultCache:
+    """Content-addressed stats cache: memory first, disk optional.
+
+    With a ``directory`` every stored result is also pickled to
+    ``<directory>/<key>.stats`` and survives the process; without one
+    the cache is a plain in-memory memo.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict = {}
+        self.directory = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.stats"
+
+    def get(self, key: str) -> SimulationStats | None:
+        """Look a key up; counts a hit or miss."""
+        stats = self._memory.get(key)
+        if stats is None and self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                stats = pickle.loads(path.read_bytes())
+                self._memory[key] = stats
+        if stats is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: SimulationStats) -> None:
+        """Store a result in memory (and on disk when configured)."""
+        self._memory[key] = stats
+        if self.directory is not None:
+            self._path(key).write_bytes(pickle.dumps(stats, protocol=4))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    processes: int | None = None,
+) -> list:
+    """Order-preserving map, fanned across worker processes.
+
+    ``processes=None`` sizes the pool to the host (serial on a single
+    CPU); ``processes<=1`` or a batch of one runs in-process.  ``fn``
+    and every item must be picklable when a pool is used.
+    """
+    items = list(items)
+    if processes is None:
+        processes = min(len(items), os.cpu_count() or 1)
+    if processes <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with get_context().Pool(processes=processes) as pool:
+        return pool.map(fn, items)
+
+
+def run_many(
+    requests: Iterable[RunRequest],
+    processes: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[BatchResult]:
+    """Execute a batch of requests, in parallel, through the cache.
+
+    Cache hits never reach a worker; the remainder is executed with
+    :func:`parallel_map` and written back, so a repeated sweep is
+    priced by its novel points only.  Identical requests within one
+    batch share a single cache lookup and a single execution (every
+    copy past the first comes back ``cached=True``).  Results come
+    back in request order.
+    """
+    requests = list(requests)
+    cache = cache if cache is not None else ResultCache()
+    keys = [request_key(request) for request in requests]
+    groups: dict = {}
+    for index, key in enumerate(keys):
+        groups.setdefault(key, []).append(index)
+    results: list = [None] * len(requests)
+    pending: list = []
+    for key, indices in groups.items():
+        stats = cache.get(key)
+        if stats is None:
+            pending.append(key)
+            continue
+        for index in indices:
+            results[index] = BatchResult(
+                label=requests[index].label, key=key, stats=stats,
+                cached=True,
+            )
+    fresh = parallel_map(
+        execute,
+        [requests[groups[key][0]] for key in pending],
+        processes,
+    )
+    for key, stats in zip(pending, fresh):
+        cache.put(key, stats)
+        for occurrence, index in enumerate(groups[key]):
+            results[index] = BatchResult(
+                label=requests[index].label,
+                key=key,
+                stats=stats,
+                cached=occurrence > 0,
+            )
+    return results

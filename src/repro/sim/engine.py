@@ -1,0 +1,336 @@
+"""Pluggable simulation engines.
+
+The reference clock is the only time base in Synchroscalar, and the
+single-PLL/integer-divider clock tree makes the whole chip's activity
+pattern periodic in the clock hyperperiod (Section 2.4).  This module
+exploits that in two interchangeable engines behind one interface:
+
+``ReferenceEngine``
+    The tick-accurate stepper: one Python iteration per reference
+    tick, with tracing folded in as an observer hook so traced and
+    untraced runs share a single stepping loop.
+
+``CompiledEngine``
+    Precompiles the per-hyperperiod activity schedule from the
+    :class:`~repro.arch.clocking.ClockTree` (which reference ticks
+    carry column clock edges, which DOUs can ever move a word) and
+    advances in hyperperiod-sized strides: dead ticks are skipped
+    outright, inert DOUs are never stepped, halted columns accrue
+    their bubble cycles arithmetically, and the post-halt bus drain is
+    settled in O(columns) instead of O(ticks).  By construction it
+    produces :class:`~repro.sim.stats.SimulationStats` identical to
+    the reference engine - a property enforced by differential tests.
+
+Engines only require the :class:`~repro.arch.chip.Chip` duck type:
+``columns``, ``clock``, ``horizontal_dou``, ``all_halted``,
+``reference_ticks``, and ``step_reference_tick``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.arch.chip import Chip
+from repro.sim.stats import SimulationStats, collect
+
+DEFAULT_MAX_TICKS = 2_000_000
+
+
+def _budget_error(max_ticks: int) -> SimulationError:
+    return SimulationError(
+        f"simulation exceeded {max_ticks} reference ticks "
+        f"(deadlocked schedule?)"
+    )
+
+
+def _run_ticked(
+    chip: Chip,
+    observers: tuple,
+    max_ticks: int,
+    until: Callable[[Chip], bool] | None,
+    drain_hyperperiods: int,
+) -> SimulationStats:
+    """The canonical tick-by-tick run loop (shared fallback path)."""
+    for _ in range(max_ticks):
+        if until is not None and until(chip):
+            return collect(chip)
+        if chip.all_halted:
+            break
+        chip.step_reference_tick(observers)
+    else:
+        raise _budget_error(max_ticks)
+    for _ in range(drain_hyperperiods * chip.clock.hyperperiod()):
+        chip.step_reference_tick(observers)
+    return collect(chip)
+
+
+class Engine:
+    """Common interface: advance a chip and collect its statistics.
+
+    ``observers`` receive ``record(tick, column, outcome, pc)`` for
+    every tile-clock step - :class:`~repro.sim.trace.Tracer` plugs in
+    directly.
+    """
+
+    name = "engine"
+
+    def __init__(self, chip: Chip, observers: tuple = ()) -> None:
+        self.chip = chip
+        self.observers = tuple(observers)
+
+    def step(self) -> None:
+        """Advance exactly one reference tick."""
+        self.chip.step_reference_tick(self.observers)
+
+    def run(
+        self,
+        max_ticks: int = DEFAULT_MAX_TICKS,
+        until: Callable[[Chip], bool] | None = None,
+        drain_hyperperiods: int = 2,
+    ) -> SimulationStats:
+        """Run until every column halts (or ``until`` fires).
+
+        After all columns halt, the buses are drained for
+        ``drain_hyperperiods`` clock hyperperiods so in-flight words
+        settle into their destination buffers.
+
+        Raises
+        ------
+        SimulationError
+            If the tick budget is exhausted first - almost always a
+            deadlocked communication schedule.
+        """
+        raise NotImplementedError
+
+
+class ReferenceEngine(Engine):
+    """Tick-accurate stepping - the architectural reference."""
+
+    name = "reference"
+
+    def run(
+        self,
+        max_ticks: int = DEFAULT_MAX_TICKS,
+        until: Callable[[Chip], bool] | None = None,
+        drain_hyperperiods: int = 2,
+    ) -> SimulationStats:
+        return _run_ticked(
+            self.chip, self.observers, max_ticks, until,
+            drain_hyperperiods,
+        )
+
+
+class CompiledEngine(Engine):
+    """Hyperperiod-compiled stepping: skip what cannot change state.
+
+    At construction the engine classifies every DOU (inert programs
+    can never move a word, so stepping them is invisible to the
+    statistics) and compiles the clock tree's edge schedule.  Two
+    striding modes follow:
+
+    * every DOU inert ("sparse"): only reference ticks carrying at
+      least one live column edge are visited; everything between is
+      jumped over in O(1).
+    * some DOU live ("dense"): every tick steps the live DOUs (they
+      run at the reference rate by definition), but column edges come
+      from the precompiled table and halted columns are never
+      re-entered.
+
+    In both modes a column that has halted stops being stepped; the
+    bubbles and tile cycles the reference engine would have accrued on
+    its remaining clock edges are reconstructed arithmetically before
+    statistics are collected, as is the post-halt drain.  ``until``
+    predicates and observers need tick-accurate visibility, so their
+    presence falls back to the shared tick-by-tick loop.
+    """
+
+    name = "compiled"
+
+    def __init__(self, chip: Chip, observers: tuple = ()) -> None:
+        super().__init__(chip, observers)
+        self._hyperperiod = chip.clock.hyperperiod()
+        self._edges = chip.clock.edge_schedule()
+        self._active_offsets = tuple(
+            offset for offset, columns in enumerate(self._edges)
+            if columns
+        )
+        self._inert = [
+            column.dou.program.is_inert() for column in chip.columns
+        ]
+        self._horizontal_inert = (
+            chip.horizontal_dou is None
+            or chip.horizontal_dou.program.is_inert()
+        )
+        self._all_inert = all(self._inert) and self._horizontal_inert
+        self._live_dous = [
+            column.dou
+            for index, column in enumerate(chip.columns)
+            if not self._inert[index]
+        ]
+        self._live_horizontal = (
+            None if self._horizontal_inert else chip.horizontal_dou
+        )
+
+    def run(
+        self,
+        max_ticks: int = DEFAULT_MAX_TICKS,
+        until: Callable[[Chip], bool] | None = None,
+        drain_hyperperiods: int = 2,
+    ) -> SimulationStats:
+        if until is not None or self.observers:
+            return _run_ticked(
+                self.chip, self.observers, max_ticks, until,
+                drain_hyperperiods,
+            )
+        # Snapshot cycle counters so the owed-edge arithmetic in
+        # _settle can tell skipped edges from stepped ones even when
+        # the chip was advanced before run() was called.
+        self._initial_cycles = [
+            column.tile_cycles for column in self.chip.columns
+        ]
+        start = self.chip.reference_ticks
+        if self._all_inert:
+            halt_tick = self._advance_sparse(max_ticks)
+        else:
+            halt_tick = self._advance_dense(max_ticks)
+        # The reference loop spends one budget iteration *observing*
+        # all_halted after the final step, so a chip halting on the
+        # very last tick in budget still exhausts it.
+        if halt_tick - start >= max_ticks:
+            raise _budget_error(max_ticks)
+        self._settle(halt_tick, drain_hyperperiods)
+        return collect(self.chip)
+
+    # ------------------------------------------------------------------
+    # striding
+    # ------------------------------------------------------------------
+    def _advance_sparse(self, max_ticks: int) -> int:
+        """All DOUs inert: jump from live edge to live edge.
+
+        Returns the tick at which the reference loop would observe
+        ``all_halted`` (one past the last stepped tick).
+        """
+        chip = self.chip
+        columns = chip.columns
+        period = self._hyperperiod
+        edges = self._edges
+        active = self._active_offsets
+        start = chip.reference_ticks
+        deadline = start + max_ticks
+        live = sum(not column.halted for column in columns)
+        tick = start
+        while live:
+            offset = tick % period
+            base = tick - offset
+            jump = None
+            for candidate in active:
+                if candidate >= offset:
+                    jump = base + candidate
+                    break
+            if jump is None:
+                jump = base + period + active[0]
+            if jump >= deadline:
+                raise _budget_error(max_ticks)
+            for index in edges[jump % period]:
+                column = columns[index]
+                if column.halted:
+                    continue
+                column.step_tile_clock()
+                if column.halted:
+                    live -= 1
+            tick = jump + 1
+        return tick
+
+    def _advance_dense(self, max_ticks: int) -> int:
+        """Some DOU moves data: step every tick, skip what is dead."""
+        chip = self.chip
+        columns = chip.columns
+        period = self._hyperperiod
+        edges = self._edges
+        live_dous = self._live_dous
+        horizontal = self._live_horizontal
+        start = chip.reference_ticks
+        deadline = start + max_ticks
+        live = sum(not column.halted for column in columns)
+        tick = start
+        while live:
+            if tick >= deadline:
+                raise _budget_error(max_ticks)
+            for dou in live_dous:
+                dou.step()
+            if horizontal is not None:
+                horizontal.step()
+            for index in edges[tick % period]:
+                column = columns[index]
+                if column.halted:
+                    continue
+                column.step_tile_clock()
+                if column.halted:
+                    live -= 1
+            tick += 1
+        return tick
+
+    # ------------------------------------------------------------------
+    # post-halt settlement
+    # ------------------------------------------------------------------
+    def _settle(self, halt_tick: int, drain_hyperperiods: int) -> None:
+        """Reconstruct everything the striding skipped.
+
+        The reference engine drains ``drain_hyperperiods`` full
+        hyperperiods after the halt tick, and on every skipped clock
+        edge of a halted column it would have recorded exactly one
+        bubble tile cycle (the controller refuses to fetch past HALT).
+        Both are recovered here in closed form.  A live DOU may still
+        hold in-flight words at halt time, so the dense drain steps
+        those faithfully; inert DOUs just have their skipped cycles
+        accounted.
+        """
+        chip = self.chip
+        clock = chip.clock
+        start = chip.reference_ticks
+        drain = drain_hyperperiods * self._hyperperiod
+        end = halt_tick + drain
+        if not self._all_inert:
+            # Step the live DOUs through the drain window tick by
+            # tick; words parked in write buffers keep moving exactly
+            # as under the reference engine.
+            for _ in range(drain):
+                for dou in self._live_dous:
+                    dou.step()
+                if self._live_horizontal is not None:
+                    self._live_horizontal.step()
+        for index, column in enumerate(chip.columns):
+            # Edges the column saw while skipped: from run start to
+            # the drain's end, minus the ones actually stepped.
+            owed = (
+                clock.edges_in(index, start, end)
+                - (column.tile_cycles - self._initial_cycles[index])
+            )
+            if owed:
+                column.tile_cycles += owed
+                column.controller.bubbles += owed
+            if self._inert[index]:
+                column.dou.fast_forward(end - start)
+        if self._horizontal_inert and chip.horizontal_dou is not None:
+            chip.horizontal_dou.fast_forward(end - start)
+        chip.reference_ticks = end
+
+
+ENGINES = {
+    ReferenceEngine.name: ReferenceEngine,
+    CompiledEngine.name: CompiledEngine,
+}
+
+
+def create_engine(
+    name: str, chip: Chip, observers: tuple = ()
+) -> Engine:
+    """Instantiate an engine by registry name."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return factory(chip, observers)

@@ -1,49 +1,58 @@
-"""The multi-clock-domain simulation driver."""
+"""The multi-clock-domain simulation driver.
+
+:class:`Simulator` is a thin facade over the pluggable engine layer
+(:mod:`repro.sim.engine`): it picks an engine, wires the optional
+tracer in as a step observer, and exposes the historical run/step
+API.  Pass ``engine="compiled"`` to advance in hyperperiod strides
+instead of tick by tick.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import SimulationError
 from repro.arch.chip import Chip
 from repro.arch.config import ChipConfig, ColumnConfig
 from repro.arch.dou import DouProgram
+from repro.errors import ConfigurationError
 from repro.isa.program import Program
-from repro.sim.stats import SimulationStats, collect
+from repro.sim.engine import DEFAULT_MAX_TICKS, Engine, create_engine
+from repro.sim.stats import SimulationStats
 from repro.sim.trace import Tracer
 
-DEFAULT_MAX_TICKS = 2_000_000
+__all__ = ["DEFAULT_MAX_TICKS", "Simulator", "run_single_column"]
 
 
 class Simulator:
     """Runs a chip to completion and snapshots statistics."""
 
-    def __init__(self, chip: Chip, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        chip: Chip,
+        tracer: Tracer | None = None,
+        engine: str | Engine = "reference",
+    ) -> None:
         self.chip = chip
         self.tracer = tracer
+        if isinstance(engine, Engine):
+            if tracer is not None:
+                raise ConfigurationError(
+                    "pass the tracer as an engine observer when "
+                    "supplying an engine instance"
+                )
+            self.engine = engine
+        else:
+            observers = (tracer,) if tracer is not None else ()
+            self.engine = create_engine(engine, chip, observers)
 
     def step(self) -> None:
         """Advance one reference tick (with optional tracing)."""
-        chip = self.chip
-        if self.tracer is None:
-            chip.step_reference_tick()
-            return
-        tick = chip.reference_ticks
-        for column in chip.columns:
-            column.step_bus_clock()
-        if chip.horizontal_dou is not None:
-            chip.horizontal_dou.step()
-        for index, column in enumerate(chip.columns):
-            if chip.clock.ticks(index, tick):
-                pc = column.controller.pc
-                outcome = column.step_tile_clock()
-                self.tracer.record(tick, index, outcome, pc)
-        chip.reference_ticks += 1
+        self.engine.step()
 
     def run(
         self,
         max_ticks: int = DEFAULT_MAX_TICKS,
-        until: Callable | None = None,
+        until: Callable[[Chip], bool] | None = None,
         drain_hyperperiods: int = 2,
     ) -> SimulationStats:
         """Run until every column halts (or ``until`` fires).
@@ -58,21 +67,11 @@ class Simulator:
             If the tick budget is exhausted first - almost always a
             deadlocked communication schedule.
         """
-        chip = self.chip
-        for _ in range(max_ticks):
-            if until is not None and until(chip):
-                return collect(chip)
-            if chip.all_halted:
-                break
-            self.step()
-        else:
-            raise SimulationError(
-                f"simulation exceeded {max_ticks} reference ticks "
-                f"(deadlocked schedule?)"
-            )
-        for _ in range(drain_hyperperiods * chip.clock.hyperperiod()):
-            self.step()
-        return collect(chip)
+        return self.engine.run(
+            max_ticks=max_ticks,
+            until=until,
+            drain_hyperperiods=drain_hyperperiods,
+        )
 
 
 def run_single_column(
@@ -86,7 +85,8 @@ def run_single_column(
     strict_schedules: bool = True,
     max_ticks: int = DEFAULT_MAX_TICKS,
     tracer: Tracer | None = None,
-) -> tuple:
+    engine: str = "reference",
+) -> tuple[Chip, SimulationStats]:
     """Build, load, and run a one-column chip; returns (chip, stats).
 
     ``memory_images`` maps tile index to ``{base: [words]}`` preloads;
@@ -112,5 +112,7 @@ def run_single_column(
         for tile_index, words in read_primes.items():
             for word in words:
                 chip.columns[0].tiles[tile_index].read_buffer.push(word)
-    stats = Simulator(chip, tracer=tracer).run(max_ticks=max_ticks)
+    stats = Simulator(chip, tracer=tracer, engine=engine).run(
+        max_ticks=max_ticks
+    )
     return chip, stats

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.errors import FrequencyRangeError
 from repro.power.interconnect import CommProfile
 from repro.power.model import ComponentSpec, PowerModel
+from repro.sim.batch import parallel_map
 from repro.tech.area import AreaModel
 from repro.tech.leakage import LEAKAGE_SWEEP_MA_PER_TILE
 from repro.tech.parameters import PAPER_TECHNOLOGY
@@ -157,17 +158,25 @@ class ViterbiBusStudy:
             feasible=True,
         )
 
+    def _evaluate_point(self, point: tuple) -> BusWidthPoint:
+        """Picklable single-argument adapter for the batch fan-out."""
+        return self.evaluate(*point)
+
     def sweep(
         self,
         tile_counts: tuple = (8, 16, 32),
         bus_widths: tuple = (32, 64, 128, 256, 512, 1024),
+        processes: int | None = 1,
     ) -> list:
-        """All Figure 8 points (including infeasible ones, flagged)."""
-        return [
-            self.evaluate(n, w)
-            for n in tile_counts
-            for w in bus_widths
-        ]
+        """All Figure 8 points (including infeasible ones, flagged).
+
+        Points are independent, so the grid fans out through
+        :func:`repro.sim.batch.parallel_map`; ``processes=1`` (the
+        default) evaluates in-process, ``processes=None`` sizes the
+        pool to the host.
+        """
+        grid = [(n, w) for n in tile_counts for w in bus_widths]
+        return parallel_map(self._evaluate_point, grid, processes)
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,64 @@ def test_validation():
         ClockTree(100.0, [1.5])
 
 
+def test_edge_schedule_single_unit_divider():
+    """{1}: every tick is an edge of the one column."""
+    tree = ClockTree(100.0, [1])
+    assert tree.edge_schedule() == ((0,),)
+
+
+def test_edge_schedule_mixed_small_dividers():
+    """{1,2,3}: hyperperiod 6, columns interleave as expected."""
+    tree = ClockTree(100.0, [1, 2, 3])
+    assert tree.edge_schedule() == (
+        (0, 1, 2),  # tick 0: everyone
+        (0,),       # tick 1
+        (0, 1),     # tick 2
+        (0, 2),     # tick 3
+        (0, 1),     # tick 4
+        (0,),       # tick 5
+    )
+
+
+def test_edge_schedule_large_lcm():
+    """{7,9,13}: an 819-tick hyperperiod stays exact."""
+    tree = ClockTree(100.0, [7, 9, 13])
+    schedule = tree.edge_schedule()
+    assert len(schedule) == 819 == tree.hyperperiod()
+    for column, divider in enumerate(tree.dividers):
+        offsets = [
+            offset for offset, columns in enumerate(schedule)
+            if column in columns
+        ]
+        assert offsets == list(range(0, 819, divider))
+        assert len(offsets) == 819 // divider
+    # the table matches the per-tick oracle everywhere
+    for offset, columns in enumerate(schedule):
+        for column in range(3):
+            assert (column in columns) == tree.ticks(column, offset)
+
+
+def test_edges_in_counts_divided_edges():
+    tree = ClockTree(100.0, [1, 4])
+    assert tree.edges_in(0, 0, 10) == 10
+    assert tree.edges_in(1, 0, 10) == 3   # ticks 0, 4, 8
+    assert tree.edges_in(1, 1, 9) == 2    # ticks 4, 8
+    assert tree.edges_in(1, 4, 5) == 1
+    assert tree.edges_in(1, 5, 5) == 0
+    assert tree.edges_in(1, 8, 4) == 0    # empty interval
+
+
+def test_edges_in_matches_tick_oracle():
+    tree = ClockTree(100.0, [3, 5])
+    for column in range(2):
+        for start in range(0, 20, 3):
+            for stop in range(start, 40, 7):
+                expected = sum(
+                    tree.ticks(column, t) for t in range(start, stop)
+                )
+                assert tree.edges_in(column, start, stop) == expected
+
+
 def test_ddc_example_dividers():
     """Section 2's DDC: mixer 120 MHz, integrator 200 MHz off 600."""
     tree = ClockTree(600.0, [5, 3])

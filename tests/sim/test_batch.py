@@ -1,0 +1,123 @@
+"""Batched runs: correctness, caching, and the parallel fan-out."""
+
+import pytest
+
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.isa.assembler import assemble
+from repro.sim.batch import (
+    ResultCache,
+    RunRequest,
+    execute,
+    parallel_map,
+    request_key,
+    run_many,
+)
+from repro.sim.simulator import run_single_column
+
+
+def _square(x):
+    return x * x
+
+
+def make_request(iterations=20, divider=1, engine="compiled", label=""):
+    program = assemble(f"""
+        movi r0, 0
+        loop {iterations}
+          addi r0, r0, 1
+        endloop
+        halt
+    """, "spin")
+    return RunRequest(
+        config=ChipConfig(
+            reference_mhz=100.0,
+            columns=(ColumnConfig(divider=divider),),
+        ),
+        programs=(program,),
+        engine=engine,
+        label=label,
+    )
+
+
+def test_execute_matches_run_single_column():
+    request = make_request(iterations=15, divider=3)
+    program = assemble("""
+        movi r0, 0
+        loop 15
+          addi r0, r0, 1
+        endloop
+        halt
+    """)
+    _, expected = run_single_column(program, divider=3)
+    assert execute(request) == expected
+
+
+def test_request_key_distinguishes_configs_not_labels():
+    base = make_request(divider=2, label="a")
+    relabeled = make_request(divider=2, label="b")
+    different = make_request(divider=4, label="a")
+    assert request_key(base) == request_key(relabeled)
+    assert request_key(base) != request_key(different)
+
+
+def test_run_many_preserves_order_and_labels():
+    requests = [
+        make_request(divider=d, label=f"d{d}") for d in (4, 1, 2)
+    ]
+    results = run_many(requests)
+    assert [r.label for r in results] == ["d4", "d1", "d2"]
+    ticks = [r.stats.reference_ticks for r in results]
+    assert ticks[0] > ticks[2] > ticks[1]  # slower divider, more ticks
+
+
+def test_run_many_serves_repeats_from_cache():
+    cache = ResultCache()
+    requests = [make_request(divider=d) for d in (1, 2)]
+    first = run_many(requests, cache=cache)
+    assert [r.cached for r in first] == [False, False]
+    second = run_many(requests, cache=cache)
+    assert [r.cached for r in second] == [True, True]
+    assert [r.stats for r in second] == [r.stats for r in first]
+    assert cache.hits == 2 and cache.misses == 2
+
+
+def test_run_many_dedupes_identical_requests_within_a_batch():
+    cache = ResultCache()
+    results = run_many([make_request(divider=2),
+                        make_request(divider=2)], cache=cache)
+    assert [r.cached for r in results] == [False, True]
+    assert results[0].stats == results[1].stats
+    # duplicates share one lookup: counters agree with executed work
+    assert cache.misses == 1 and cache.hits == 0
+
+
+def test_disk_cache_survives_a_new_cache_instance(tmp_path):
+    request = make_request(divider=2)
+    run_many([request], cache=ResultCache(tmp_path))
+    rehydrated = ResultCache(tmp_path)
+    results = run_many([request], cache=rehydrated)
+    assert results[0].cached
+    assert rehydrated.hits == 1
+
+
+def test_run_many_engines_agree():
+    reference = run_many([make_request(divider=4, engine="reference")])
+    compiled = run_many([make_request(divider=4, engine="compiled")])
+    assert reference[0].stats == compiled[0].stats
+
+
+def test_run_many_across_worker_processes():
+    requests = [make_request(divider=d) for d in (1, 2, 4)]
+    parallel = run_many(requests, processes=2)
+    serial = run_many(requests, processes=1)
+    assert [r.stats for r in parallel] == [r.stats for r in serial]
+
+
+def test_parallel_map_serial_and_pooled_agree():
+    items = list(range(6))
+    assert parallel_map(_square, items) == [x * x for x in items]
+    assert parallel_map(_square, items, processes=2) \
+        == [x * x for x in items]
+
+
+def test_parallel_map_empty():
+    assert parallel_map(_square, []) == []
