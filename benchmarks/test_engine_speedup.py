@@ -10,8 +10,14 @@ Two workloads bracket the engine's operating range:
 
 Both runs are cross-checked for bit-identical statistics before any
 timing is trusted.
+
+Assert-only mode (``BENCH_SMOKE=1``, used by the CI smoke step) keeps
+every correctness assertion - bit-identical statistics between the
+engines - but skips the wall-clock ratio thresholds, which are
+meaningless on noisy shared runners.
 """
 
+import os
 import time
 
 from repro.arch.chip import Chip
@@ -22,6 +28,9 @@ from repro.kernels.fir import build_fir_kernel
 from repro.sim.simulator import Simulator
 
 REPEATS = 3
+
+#: Assert-only mode: verify engine equivalence, skip timing bars.
+SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
 
 
 def _best_of(repeats, fn):
@@ -71,7 +80,7 @@ def test_fir_kernel_compiled_not_slower():
     ratio = reference_s / compiled_s
     print(f"\nFIR kernel: reference {reference_s * 1e3:7.2f} ms, "
           f"compiled {compiled_s * 1e3:7.2f} ms -> {ratio:.2f}x")
-    assert ratio >= 1.0, (
+    assert SMOKE or ratio >= 1.0, (
         f"compiled engine slower than reference on FIR "
         f"({ratio:.2f}x)"
     )
@@ -94,7 +103,7 @@ def test_mixed_divider_speedup_at_least_2x():
     print(f"\nmixed dividers (2,4,8): reference "
           f"{reference_s * 1e3:7.2f} ms, compiled "
           f"{compiled_s * 1e3:7.2f} ms -> {ratio:.2f}x")
-    assert ratio >= 2.0, (
+    assert SMOKE or ratio >= 2.0, (
         f"compiled engine only {ratio:.2f}x faster on the "
         f"mixed-divider workload (need >= 2x)"
     )

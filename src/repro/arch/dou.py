@@ -204,6 +204,7 @@ class Dou:
         self.counters = list(program.counter_initial)
         self.words_moved = 0     # successful captures (broadcast = N)
         self.words_retired = 0   # retired drives (broadcast = 1)
+        self.span_words = 0.0    # sum of per-retire bus-span fractions
         self.cycles = 0
         self.blocked_cycles = 0
 
@@ -293,15 +294,23 @@ class Dou:
             buffer.push(value)
             moved += 1
             segment = self.bus.segment_of(split, position)
-            delivered_by_segment.setdefault((split, segment), 0)
-            delivered_by_segment[(split, segment)] += 1
+            delivered_by_segment.setdefault((split, segment), [])
+            delivered_by_segment[(split, segment)].append(position)
 
         # A drive retires only once at least one capture consumed it.
         for position, split, _ in active_drives:
             segment = self.bus.segment_of(split, position)
-            if delivered_by_segment.get((split, segment), 0) > 0:
+            destinations = delivered_by_segment.get((split, segment), ())
+            if destinations:
                 self.write_ports[position].pop()
                 self.words_retired += 1
+                # The transfer charges the wire out to its furthest
+                # capture; recorded so measured CommProfile span
+                # fractions reflect actual segment usage (Sec 2.3).
+                self.span_words += max(
+                    self.bus.span_of_transfer(split, position, dst)
+                    for dst in destinations
+                )
             elif self.strict and state.captures:
                 raise SimulationError(
                     f"{self.program.name}: driven word at position "

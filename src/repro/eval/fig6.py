@@ -60,3 +60,48 @@ def render() -> str:
             rows,
         )
     )
+
+
+def compute_measured(evaluations: dict | None = None) -> list:
+    """Figure 6 bars with measured communication, in x-axis order."""
+    from repro.eval.measured import evaluate_all
+
+    evaluations = evaluations or evaluate_all()
+    bars = []
+    for key in _ORDER:
+        evaluation = evaluations[key]
+        bars.append(Bar(
+            application=evaluation.name,
+            scaled_mw=evaluation.measured.total_mw,
+            additional_unscaled_mw=(
+                evaluation.measured_single.total_mw
+                - evaluation.measured.total_mw
+            ),
+        ))
+    return bars
+
+
+def render_measured(evaluations: dict | None = None) -> str:
+    """Figure 6 regenerated from simulated activity, beside the
+    analytical bars."""
+    from repro.eval.measured import evaluate_all
+
+    evaluations = evaluations or evaluate_all()
+    analytical = {bar.application: bar for bar in compute()}
+    rows = []
+    for bar in compute_measured(evaluations):
+        rows.append((
+            bar.application,
+            f"{bar.scaled_mw:.1f}", f"{bar.unscaled_mw:.1f}",
+            f"{analytical[bar.application].scaled_mw:.1f}",
+            f"{analytical[bar.application].unscaled_mw:.1f}",
+        ))
+    return (
+        "Figure 6 (measured). Power by application, simulated "
+        "activity vs calibrated profiles (mW)\n"
+        + render_table(
+            ("Application", "Measured scaled", "Measured 1-V",
+             "Analytical scaled", "Analytical 1-V"),
+            rows,
+        )
+    )

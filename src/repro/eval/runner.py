@@ -6,9 +6,16 @@ Options::
     python -m repro.eval.runner --experiment fig8    # one experiment
     python -m repro.eval.runner --output results/    # write .txt files
     python -m repro.eval.runner --jobs 4             # render in parallel
+    python -m repro.eval.runner --measured           # sim-driven power
 
 Experiments are independent pure functions of the model, so they
 render concurrently through :func:`repro.sim.batch.parallel_map`.
+
+``--measured`` regenerates the power experiments (Table 4, Figure 6,
+and the Figure 8 sweep) from simulated activity batched through
+:func:`repro.sim.batch.run_many`, and emits a ``BENCH_power.json``
+artifact recording the measured-vs-analytical deltas and the
+energy-ledger conservation audit.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ _EXPERIMENTS = {
     "fig10": fig10,
 }
 
+#: Experiments with a measured (simulation-driven) variant.
+_MEASURED_EXPERIMENTS = ("table4", "fig6", "fig8")
+
 
 def _render(name: str) -> str:
     """Render one experiment (module-level for worker pickling)."""
@@ -55,6 +65,40 @@ def run_all(names: list | None = None, jobs: int | None = 1) -> dict:
         )
     rendered = parallel_map(_render, selected, processes=jobs)
     return dict(zip(selected, rendered))
+
+
+def run_measured(names: list | None = None) -> dict:
+    """{experiment id: measured render} plus the BENCH payload.
+
+    The kernel simulations behind every measured render share one
+    :func:`repro.sim.batch.run_many` batch (memoized process-wide),
+    so Table 4, Figure 6, and the Figure 8 sweep price each kernel
+    run once.  Returns the rendered texts under their experiment ids
+    and the JSON payload under ``"BENCH_power"``.
+    """
+    from repro.eval.measured import bench_payload, evaluate_all
+
+    selected = list(names) if names else list(_MEASURED_EXPERIMENTS)
+    unknown = set(selected) - set(_MEASURED_EXPERIMENTS)
+    if unknown:
+        raise KeyError(
+            f"experiment(s) {sorted(unknown)} have no measured "
+            f"variant; valid: {sorted(_MEASURED_EXPERIMENTS)}"
+        )
+    # Every application is evaluated regardless of the render
+    # selection: the BENCH payload always covers the full Table 4,
+    # and the kernel runs behind it are memoized process-wide.
+    evaluations = evaluate_all()
+    outputs = {}
+    for name in selected:
+        if name == "fig8":
+            outputs[name] = fig8.render_measured()
+        else:
+            outputs[name] = _EXPERIMENTS[name].render_measured(
+                evaluations
+            )
+    outputs["BENCH_power"] = bench_payload(evaluations)
+    return outputs
 
 
 def write_results(outputs: dict, directory: str) -> list:
@@ -87,7 +131,42 @@ def main(argv: list | None = None) -> None:
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="render N experiments in parallel (0 = one per CPU)",
     )
+    parser.add_argument(
+        "--measured", action="store_true",
+        help="regenerate Table 4 / Figure 6 / Figure 8 from simulated "
+             "activity and emit BENCH_power.json",
+    )
     args = parser.parse_args(argv)
+    if args.measured:
+        from repro.eval.measured import write_bench
+
+        names = args.experiments
+        if names is not None:
+            unsupported = sorted(
+                set(names) - set(_MEASURED_EXPERIMENTS)
+            )
+            if unsupported:
+                parser.error(
+                    f"experiment(s) {unsupported} have no measured "
+                    f"variant; --measured supports "
+                    f"{sorted(_MEASURED_EXPERIMENTS)}"
+                )
+        measured = run_measured(names)
+        payload = measured.pop("BENCH_power")
+        target = write_bench(args.output or ".", payload)
+        if args.output:
+            for written in write_results(measured, args.output):
+                print(f"wrote {written}")
+            print(f"wrote {target}")
+            return
+        for name, text in measured.items():
+            print("=" * 72)
+            print(f"== {name} (measured)")
+            print("=" * 72)
+            print(text)
+            print()
+        print(f"wrote {target}")
+        return
     jobs = None if args.jobs == 0 else args.jobs
     outputs = run_all(args.experiments, jobs=jobs)
     if args.output:

@@ -105,3 +105,69 @@ def render() -> str:
         f"{max_application_savings():.0f}% (paper: up to 32%)."
     )
     return "\n".join(sections)
+
+
+def render_measured(evaluations: dict | None = None) -> str:
+    """Table 4 with a measured column driven by simulated activity.
+
+    Each application section sets the analytical (calibrated
+    CommProfile) totals beside the measured ones (communication from
+    counted transfers via :func:`repro.sim.batch.run_many`), and
+    closes with the energy-ledger audit: per-domain energy summed over
+    the simulated window equals application power x time.
+    """
+    from repro.eval.measured import TOLERANCES, evaluate_all
+
+    evaluations = evaluations or evaluate_all()
+    sections = [
+        "Table 4 (measured). Power from simulated activity vs "
+        "calibrated profiles"
+    ]
+    for evaluation in evaluations.values():
+        app = evaluation.app
+        sections.append(
+            f"\n-- {app.name} ({app.config.rate_label}); "
+            f"{evaluation.measured.n_tiles} tiles, "
+            f"{app.measured_fraction:.0%} of components measured"
+        )
+        sections.append(
+            f"{'Algorithm':<28}{'src':>5}{'w/cyc':>8}{'span':>6}"
+            f"{'ana mW':>10}{'meas mW':>10}"
+        )
+        for component, analytic, measured in zip(
+            app.components,
+            evaluation.analytical.components,
+            evaluation.measured.components,
+        ):
+            source = "sim" if component.measured else "cal"
+            sections.append(
+                f"{component.name:<28}{source:>5}"
+                f"{component.spec.comm.words_per_cycle:>8.3f}"
+                f"{component.spec.comm.span_fraction:>6.2f}"
+                f"{analytic.total_mw:>10.2f}{measured.total_mw:>10.2f}"
+            )
+        sections.append(
+            f"{'TOTAL':<28}{'':>5}{'':>8}{'':>6}"
+            f"{evaluation.analytical.total_mw:>10.2f}"
+            f"{evaluation.measured.total_mw:>10.2f}"
+        )
+        ratio = evaluation.interconnect_ratio
+        if ratio is not None:
+            window = TOLERANCES.get(evaluation.name)
+            bound = (
+                f" (documented window {window[0]}..{window[1]}: "
+                f"{'ok' if evaluation.within_tolerance else 'OUT'})"
+                if window else ""
+            )
+            sections.append(
+                f"   interconnect measured/analytical = "
+                f"{ratio:.3f}{bound}"
+            )
+        sections.append(
+            f"   energy ledger: {evaluation.ledger.total_nj:.2f} nJ "
+            f"over {evaluation.time_us:.2f} us "
+            f"(= power x time, rel err "
+            f"{evaluation.conservation_error:.1e}; idle share "
+            f"{evaluation.ledger.idle_nj:.2f} nJ)"
+        )
+    return "\n".join(sections)

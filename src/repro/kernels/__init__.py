@@ -16,6 +16,7 @@ from repro.kernels.mixer import build_mixer_kernel
 from repro.kernels.cic import build_cic_chain_kernel
 from repro.kernels.viterbi_acs import build_acs_kernel
 from repro.kernels.dct import build_dct_kernel
+from repro.kernels.streams import build_mixer_stream_kernel
 
 __all__ = [
     "Kernel",
@@ -26,4 +27,5 @@ __all__ = [
     "build_cic_chain_kernel",
     "build_acs_kernel",
     "build_dct_kernel",
+    "build_mixer_stream_kernel",
 ]

@@ -1,0 +1,105 @@
+"""Streaming kernel variants for the measured-power pipeline.
+
+The plain kernels in this package keep their data tile-local, which is
+right for measuring compute cost but blind to the bus traffic their
+Table 4 components generate: the DDC mixer's power row is dominated by
+*shipping* mixed samples onward, not by computing them.  This module
+adds streaming variants that move their results through the column's
+DOU and port exactly the way the application mapping does, so
+:mod:`repro.power.measured` can extract communication densities from
+counted transfers instead of calibrated constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.chip import PORT_POSITION
+from repro.arch.dou_compiler import Transfer, compile_schedule
+from repro.isa.assembler import assemble
+from repro.isa.registers import signed32
+from repro.kernels.base import Kernel
+
+A_BASE, B_BASE, C_BASE, D_BASE = 0, 32, 64, 96
+
+
+def _program(samples: int):
+    return assemble(f"""
+        .equ samples, {samples}
+        movi p0, {A_BASE}
+        movi p1, {B_BASE}
+        movi p2, {C_BASE}
+        movi p3, {D_BASE}
+        loop samples
+          ld r1, [p0++]      ; a
+          ld r2, [p1++]      ; b
+          ld r3, [p2++]      ; c
+          ld r4, [p3++]      ; d
+          mul r5, r1, r3     ; ac
+          mul r6, r2, r4     ; bd
+          sub r5, r5, r6
+          send r5            ; real -> port
+          mul r5, r1, r4     ; ad
+          mul r6, r2, r3     ; bc
+          add r5, r5, r6
+          send r5            ; imag -> port
+        endloop
+        halt
+    """, "mixer-stream")
+
+
+def build_mixer_stream_kernel(samples: int = 8, seed: int = 1) -> Kernel:
+    """Mixer that streams every result word out through the port.
+
+    Each tile mixes its own I/Q slice and SENDs real and imaginary
+    parts; the DOU drains all four write buffers to the port each bus
+    cycle on separate splits - the neighbour-to-port pattern whose
+    measured words/cycle and span feed the DDC mixer's power row.
+    """
+    rng = np.random.default_rng(seed)
+    streams = {
+        tile: {
+            "a": rng.integers(-1000, 1000, samples),
+            "b": rng.integers(-1000, 1000, samples),
+            "c": rng.integers(-1000, 1000, samples),
+            "d": rng.integers(-1000, 1000, samples),
+        }
+        for tile in range(4)
+    }
+    memory_images = {
+        tile: {
+            A_BASE: [int(v) for v in data["a"]],
+            B_BASE: [int(v) for v in data["b"]],
+            C_BASE: [int(v) for v in data["c"]],
+            D_BASE: [int(v) for v in data["d"]],
+        }
+        for tile, data in streams.items()
+    }
+    expected = []
+    for data in streams.values():
+        product = (data["a"] + 1j * data["b"]) * (data["c"] + 1j * data["d"])
+        expected.extend(int(v) for v in product.real)
+        expected.extend(int(v) for v in product.imag)
+
+    to_port = compile_schedule(
+        [[Transfer(src=tile, dsts=(PORT_POSITION,))
+          for tile in range(4)]],
+        name="mixer-to-port",
+    )
+
+    def checker(chip, stats) -> None:
+        drained = [signed32(w) for w in chip.drain_column(0)]
+        assert sorted(drained) == sorted(expected), (
+            f"streamed {len(drained)} words, "
+            f"expected {len(expected)}"
+        )
+
+    return Kernel(
+        name="mixer-stream",
+        program=_program(samples),
+        samples=samples,
+        checker=checker,
+        dou_program=to_port,
+        memory_images=memory_images,
+        max_ticks=50_000,
+    )

@@ -11,6 +11,14 @@ parameter derivation (Section 4.2), switched-capacitance bus power
 """
 
 from repro.power.interconnect import CommProfile
+from repro.power.measured import (
+    ActivityProfile,
+    DomainEnergy,
+    EnergyLedger,
+    activity_from_stats,
+    comm_profile_from_activity,
+    spec_from_activity,
+)
 from repro.power.model import (
     ApplicationPower,
     ComponentPower,
@@ -24,11 +32,17 @@ from repro.power.tile_power import (
 from repro.power.report import format_application_power, format_component_rows
 
 __all__ = [
+    "ActivityProfile",
     "CommProfile",
     "ComponentSpec",
     "ComponentPower",
     "ApplicationPower",
+    "DomainEnergy",
+    "EnergyLedger",
     "PowerModel",
+    "activity_from_stats",
+    "comm_profile_from_activity",
+    "spec_from_activity",
     "UParameterDerivation",
     "u_reference_mw_per_mhz",
     "format_application_power",

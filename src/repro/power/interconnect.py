@@ -45,13 +45,24 @@ class CommProfile:
         if not 0.0 <= self.switching_activity <= 1.0:
             raise ValueError("switching_activity must lie in [0, 1]")
 
-    def scaled(self, factor: float) -> "CommProfile":
-        """A profile with ``words_per_cycle`` scaled by ``factor``."""
+    def scaled(
+        self, factor: float, span_fraction: float | None = None
+    ) -> "CommProfile":
+        """A profile with ``words_per_cycle`` scaled by ``factor``.
+
+        ``span_fraction``, when given, replaces the profile's span and
+        is clamped into [0, 1] - measured spans can drift slightly
+        past the physical range through floating-point accumulation.
+        """
         if factor < 0:
             raise ValueError("factor must be non-negative")
+        if span_fraction is None:
+            span = self.span_fraction
+        else:
+            span = min(1.0, max(0.0, span_fraction))
         return CommProfile(
             words_per_cycle=self.words_per_cycle * factor,
-            span_fraction=self.span_fraction,
+            span_fraction=span,
             switching_activity=self.switching_activity,
         )
 

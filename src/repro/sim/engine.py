@@ -322,11 +322,22 @@ ENGINES = {
     CompiledEngine.name: CompiledEngine,
 }
 
+#: Name that resolves to the fastest engine safe for the run shape.
+AUTO_ENGINE = "auto"
+
 
 def create_engine(
     name: str, chip: Chip, observers: tuple = ()
 ) -> Engine:
-    """Instantiate an engine by registry name."""
+    """Instantiate an engine by registry name.
+
+    ``"auto"`` picks the compiled fast path when no observers are
+    attached (tick-accurate visibility is not needed, and an ``until``
+    predicate at run time still falls back to the shared tick loop);
+    with observers it picks the reference engine outright.
+    """
+    if name == AUTO_ENGINE:
+        name = ReferenceEngine.name if observers else CompiledEngine.name
     try:
         factory = ENGINES[name]
     except KeyError:

@@ -3,8 +3,10 @@
 :class:`Simulator` is a thin facade over the pluggable engine layer
 (:mod:`repro.sim.engine`): it picks an engine, wires the optional
 tracer in as a step observer, and exposes the historical run/step
-API.  Pass ``engine="compiled"`` to advance in hyperperiod strides
-instead of tick by tick.
+API.  The default ``engine="auto"`` selects the hyperperiod-compiled
+fast path whenever no tracer is attached (the differential tests
+guarantee bit-identical statistics); pass ``engine="reference"`` to
+force tick-by-tick stepping.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ class Simulator:
         self,
         chip: Chip,
         tracer: Tracer | None = None,
-        engine: str | Engine = "reference",
+        engine: str | Engine = "auto",
     ) -> None:
         self.chip = chip
         self.tracer = tracer
@@ -85,7 +87,7 @@ def run_single_column(
     strict_schedules: bool = True,
     max_ticks: int = DEFAULT_MAX_TICKS,
     tracer: Tracer | None = None,
-    engine: str = "reference",
+    engine: str = "auto",
 ) -> tuple[Chip, SimulationStats]:
     """Build, load, and run a one-column chip; returns (chip, stats).
 

@@ -7,7 +7,13 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class ColumnStats:
-    """Per-column execution summary."""
+    """Per-column execution summary.
+
+    ``bus_span_words`` is the sum over retired bus words of the
+    fraction of the bus length each transfer actually charged
+    (segmentation, Section 2.3); dividing by ``bus_words`` yields the
+    mean span fraction the power model's interconnect term needs.
+    """
 
     index: int
     frequency_mhz: float
@@ -19,7 +25,28 @@ class ColumnStats:
     branch_stalls: int
     zorm_nops: int
     bus_words: int
-    tile_instructions: tuple
+    tile_instructions: tuple[int, ...]
+    bus_span_words: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "tile_instructions", tuple(self.tile_instructions)
+        )
+        if not self.tile_instructions:
+            raise ValueError(
+                f"column {self.index}: tile_instructions must name at "
+                f"least one tile"
+            )
+        if self.tile_cycles < 0 or self.bus_words < 0:
+            raise ValueError(
+                f"column {self.index}: cycle and word counts must be "
+                f"non-negative"
+            )
+
+    @property
+    def n_tiles(self) -> int:
+        """Tiles in the column (length of the per-tile counters)."""
+        return len(self.tile_instructions)
 
     @property
     def issue_rate(self) -> float:
@@ -42,14 +69,49 @@ class ColumnStats:
             return 0.0
         return self.bus_words / self.tile_cycles
 
+    @property
+    def mean_span_fraction(self) -> float:
+        """Average bus-length fraction charged per retired word.
+
+        Falls back to 1.0 (full-bus transfers) when the column moved
+        no words - the conservative assumption, and irrelevant to the
+        power model since it multiplies zero traffic.
+        """
+        if self.bus_words == 0:
+            return 1.0
+        return min(1.0, self.bus_span_words / self.bus_words)
+
 
 @dataclass(frozen=True)
 class SimulationStats:
-    """Whole-run summary."""
+    """Whole-run summary.
+
+    ``domain_energy`` is empty until a power-layer
+    :class:`~repro.power.measured.EnergyLedger` attaches its
+    per-domain breakdown (the sim layer never imports power).
+    """
 
     reference_ticks: int
-    columns: tuple
+    columns: tuple[ColumnStats, ...]
     horizontal_words: int
+    reference_mhz: float = 0.0
+    horizontal_span_words: float = 0.0
+    domain_energy: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        if not self.columns:
+            raise ValueError("a run must report at least one column")
+        for position, column in enumerate(self.columns):
+            if not isinstance(column, ColumnStats):
+                raise ValueError(
+                    "columns must be ColumnStats instances"
+                )
+            if column.index != position:
+                raise ValueError(
+                    f"column at position {position} reports index "
+                    f"{column.index}"
+                )
 
     def column(self, index: int) -> ColumnStats:
         """Stats of one column."""
@@ -59,6 +121,13 @@ class SimulationStats:
     def total_bus_words(self) -> int:
         """Words moved on all buses (vertical + horizontal)."""
         return sum(c.bus_words for c in self.columns) + self.horizontal_words
+
+    @property
+    def simulated_time_us(self) -> float:
+        """Simulated wall-clock duration of the run in microseconds."""
+        if self.reference_mhz <= 0:
+            return 0.0
+        return self.reference_ticks / self.reference_mhz
 
     def cycles_per_sample(self, column: int, samples: int) -> float:
         """Tile cycles per processed sample (Sec 4.1, step 6)."""
@@ -95,12 +164,17 @@ def collect(chip) -> SimulationStats:
             tile_instructions=tuple(
                 t.instructions_executed for t in column.tiles
             ),
+            bus_span_words=column.dou.span_words,
         ))
     horizontal = 0
+    horizontal_span = 0.0
     if chip.horizontal_dou is not None:
         horizontal = chip.horizontal_dou.words_retired
+        horizontal_span = chip.horizontal_dou.span_words
     return SimulationStats(
         reference_ticks=chip.reference_ticks,
         columns=tuple(columns),
         horizontal_words=horizontal,
+        reference_mhz=chip.config.reference_mhz,
+        horizontal_span_words=horizontal_span,
     )

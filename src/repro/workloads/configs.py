@@ -18,7 +18,7 @@ compute + leakage, which our model matches to within 0.5%).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.power.interconnect import CommProfile
 from repro.power.model import ComponentSpec
@@ -26,7 +26,15 @@ from repro.power.model import ComponentSpec
 
 @dataclass(frozen=True)
 class ApplicationConfig:
-    """One Table 4 application: specs plus the paper's reported rows."""
+    """One Table 4 application: specs plus the paper's reported rows.
+
+    ``kernels`` names, per component, the cycle-level kernel whose
+    measured activity stands in for the calibrated communication
+    profile (see :mod:`repro.workloads.measured`); components without
+    an entry stay analytical - their traffic pattern (e.g. the CIC
+    comb's cross-column gather/scatter) has no single-column kernel
+    equivalent yet.
+    """
 
     name: str
     rate_label: str
@@ -37,6 +45,7 @@ class ApplicationConfig:
     paper_total_mw: float
     paper_area_mm2: float | None = None
     notes: tuple = ()
+    kernels: dict = field(default_factory=dict)
 
     @property
     def specs(self) -> list:
@@ -101,6 +110,12 @@ def ddc_config() -> ApplicationConfig:
             "value for CIC Comb while reporting 66% savings; we "
             "recompute the single-voltage run at the 1.3 V app rail.",
         ),
+        kernels={
+            "Digital Mixer": "mixer-stream",
+            "CIC Integrator": "cic-integrator-chain",
+            "CFIR": "fir-8tap",
+            "PFIR": "fir-8tap",
+        },
     )
 
 
@@ -163,6 +178,7 @@ def wlan_config() -> ApplicationConfig:
         },
         paper_total_mw=3930.53,
         paper_area_mm2=74.05,
+        kernels={"Viterbi ACS": "viterbi-acs-butterfly"},
     )
 
 
@@ -198,6 +214,7 @@ def wlan_aes_config() -> ApplicationConfig:
             "or reflect a different operating point; we report the "
             "component sum.",
         ),
+        kernels={"Viterbi ACS": "viterbi-acs-butterfly"},
     )
 
 
@@ -229,6 +246,7 @@ def mpeg4_qcif_config() -> ApplicationConfig:
             "equals its 1-tile demod row; the consistent model value "
             "for 2 tiles is 7.97 mW.",
         ),
+        kernels={"DCT/Quant/IQ/IDCT": "dct-8point-q14"},
     )
 
 
@@ -262,6 +280,7 @@ def mpeg4_cif_config() -> ApplicationConfig:
             "leakage+dynamic for 8 tiles (31.9 mW); recorded as a "
             "paper quirk.",
         ),
+        kernels={"DCT/Quant/IQ/IDCT": "dct-8point-q14"},
     )
 
 

@@ -53,9 +53,20 @@ class BusWidthPoint:
 
 
 class ViterbiBusStudy:
-    """Figure 8's power-area curves for the Viterbi ACS."""
+    """Figure 8's power-area curves for the Viterbi ACS.
 
-    def __init__(self, tech=PAPER_TECHNOLOGY) -> None:
+    ``anchor_words_per_step`` overrides the calibrated anchor traffic
+    (words crossing tile boundaries per trellis step at 16 tiles) -
+    the measured pipeline passes the ACS kernel's counted transfers
+    here to redraw the sweep from simulation instead of the Table 4
+    residual.
+    """
+
+    def __init__(
+        self,
+        tech=PAPER_TECHNOLOGY,
+        anchor_words_per_step: float | None = None,
+    ) -> None:
         self.tech = tech
         self.model = PowerModel(tech=tech, rails=tech.exploration_rails)
         self.area = AreaModel(tech)
@@ -65,9 +76,12 @@ class ViterbiBusStudy:
         e_word = self.model.bus_mw(
             CommProfile(1.0), 1.0, ANCHOR_VOLTAGE
         )  # mW per (word/cycle * MHz)
-        anchor_words_per_step = (
-            ANCHOR_BUS_POWER_MW / (e_word * TRELLIS_STEPS_PER_SECOND_M)
-        )
+        if anchor_words_per_step is None:
+            anchor_words_per_step = (
+                ANCHOR_BUS_POWER_MW
+                / (e_word * TRELLIS_STEPS_PER_SECOND_M)
+            )
+        self.anchor_words_per_step = anchor_words_per_step
         self._words_per_extra_tile = anchor_words_per_step / (
             ANCHOR_TILES - 1
         )

@@ -30,5 +30,34 @@ def test_scaled():
         profile.scaled(-1.0)
 
 
+def test_scaled_zero_factor_silences_traffic():
+    profile = CommProfile(
+        words_per_cycle=4.0, span_fraction=0.5,
+        switching_activity=0.3,
+    )
+    silent = profile.scaled(0.0)
+    assert silent.words_per_cycle == 0.0
+    # span and switching survive (they describe the wire, not the load)
+    assert silent.span_fraction == 0.5
+    assert silent.switching_activity == 0.3
+
+
+def test_scaled_negative_factor_rejected_before_any_clamping():
+    with pytest.raises(ValueError, match="non-negative"):
+        CommProfile(1.0).scaled(-0.0001, span_fraction=0.5)
+
+
+def test_scaled_span_override_clamped():
+    profile = CommProfile(words_per_cycle=1.0, span_fraction=0.5)
+    # measured spans can drift past [0, 1] through float accumulation
+    assert profile.scaled(1.0, span_fraction=1.2).span_fraction == 1.0
+    assert profile.scaled(1.0, span_fraction=-0.1).span_fraction == 0.0
+    inside = profile.scaled(2.0, span_fraction=0.25)
+    assert inside.span_fraction == 0.25
+    assert inside.words_per_cycle == 2.0
+    # no override keeps the original span
+    assert profile.scaled(3.0).span_fraction == 0.5
+
+
 def test_no_communication_constant():
     assert NO_COMMUNICATION.words_per_cycle == 0.0

@@ -46,3 +46,49 @@ def test_render_table_alignment():
     assert len(lines) == 4
     assert lines[0].startswith("A")
     assert "longer" in lines[3]
+
+
+def test_render_table_explicit_widths():
+    text = render_table(
+        ("A", "B"), [("x", "y")], widths=(10, 4)
+    )
+    header, rule, row = text.splitlines()
+    assert header == "A".ljust(10) + "B".ljust(4)
+    assert rule == "-" * 9 + " " + "-" * 3 + " "
+    assert row == "x".ljust(10) + "y".ljust(4)
+
+
+def test_render_table_column_width_tracks_widest_cell():
+    text = render_table(("H", "I"), [("wide-cell", "1")])
+    header = text.splitlines()[0]
+    # the second header starts after the widest first-column cell
+    assert header.index("I") == len("wide-cell") + 2
+
+
+def test_total_row_blanks_frequency_and_voltage():
+    """The TOTAL row has no single MHz/V; the renderer must print
+    blanks there, not 'nan'."""
+    multi, single = _apps()
+    text = format_application_power(multi, single)
+    total_line = [
+        line for line in text.splitlines() if line.startswith("TOTAL")
+    ][0]
+    assert "nan" not in total_line
+    assert "%" in total_line
+
+
+def test_format_application_power_header_optional():
+    multi, single = _apps()
+    with_header = format_application_power(multi, single)
+    without = format_application_power(multi, single, header=False)
+    assert with_header.splitlines()[0].startswith("Algorithm")
+    assert not without.splitlines()[0].startswith("Algorithm")
+    assert len(with_header.splitlines()) \
+        == len(without.splitlines()) + 1
+
+
+def test_component_rows_align_multi_and_single_voltages():
+    multi, single = _apps()
+    rows = format_component_rows(multi, single)
+    for name, tiles, mhz, volts, mw, single_mw, saved in rows:
+        assert single_mw >= mw  # single-voltage never cheaper

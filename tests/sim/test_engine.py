@@ -261,6 +261,31 @@ def test_create_engine_rejects_unknown_name():
         create_engine("warp", build_mixed_divider_chip())
 
 
+def test_auto_engine_defaults_to_compiled():
+    """The ROADMAP lever: compiled is the default when no observers
+    or until predicates need tick-accurate visibility."""
+    chip = build_mixed_divider_chip()
+    assert isinstance(create_engine("auto", chip), CompiledEngine)
+    assert isinstance(Simulator(chip).engine, CompiledEngine)
+    _, chip_and_stats = run_single_column(spin_program(5))
+    # and the default still matches the reference bit for bit
+    assert Simulator(build_mixed_divider_chip()).run() \
+        == Simulator(build_mixed_divider_chip(),
+                     engine="reference").run()
+
+
+def test_auto_engine_with_observers_stays_tick_accurate():
+    chip = build_mixed_divider_chip()
+    tracer = Tracer()
+    assert isinstance(
+        create_engine("auto", chip, (tracer,)), ReferenceEngine
+    )
+    assert isinstance(
+        Simulator(build_mixed_divider_chip(), tracer=Tracer()).engine,
+        ReferenceEngine,
+    )
+
+
 def test_simulator_accepts_engine_instance():
     chip = build_mixed_divider_chip()
     sim = Simulator(chip, engine=CompiledEngine(chip))

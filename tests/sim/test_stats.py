@@ -41,3 +41,76 @@ def test_frequency_scaling():
 def test_total_bus_words_zero_without_dou():
     stats = _stats()
     assert stats.total_bus_words == 0
+
+
+def test_simulated_time_us():
+    stats = _stats(reference_mhz=200.0)
+    assert stats.reference_mhz == 200.0
+    assert stats.simulated_time_us == pytest.approx(
+        stats.reference_ticks / 200.0
+    )
+
+
+def test_span_defaults_to_full_bus_without_traffic():
+    stats = _stats()
+    column = stats.column(0)
+    assert column.bus_span_words == 0.0
+    assert column.mean_span_fraction == 1.0
+    assert column.n_tiles == 4
+
+
+def test_column_stats_validate_tile_instructions():
+    from repro.sim.stats import ColumnStats
+
+    with pytest.raises(ValueError, match="at least one tile"):
+        ColumnStats(
+            index=0, frequency_mhz=100.0, tile_cycles=1, issued=1,
+            bubbles=0, comm_stalls=0, control_executed=0,
+            branch_stalls=0, zorm_nops=0, bus_words=0,
+            tile_instructions=(),
+        )
+    with pytest.raises(ValueError, match="non-negative"):
+        ColumnStats(
+            index=0, frequency_mhz=100.0, tile_cycles=-1, issued=0,
+            bubbles=0, comm_stalls=0, control_executed=0,
+            branch_stalls=0, zorm_nops=0, bus_words=0,
+            tile_instructions=(1,),
+        )
+    # lists are normalized into tuples so stats stay hashable/frozen
+    column = ColumnStats(
+        index=0, frequency_mhz=100.0, tile_cycles=1, issued=1,
+        bubbles=0, comm_stalls=0, control_executed=0,
+        branch_stalls=0, zorm_nops=0, bus_words=0,
+        tile_instructions=[1, 1],
+    )
+    assert column.tile_instructions == (1, 1)
+
+
+def test_simulation_stats_validate_columns():
+    from repro.sim.stats import ColumnStats, SimulationStats
+
+    def column(index):
+        return ColumnStats(
+            index=index, frequency_mhz=100.0, tile_cycles=1, issued=1,
+            bubbles=0, comm_stalls=0, control_executed=0,
+            branch_stalls=0, zorm_nops=0, bus_words=0,
+            tile_instructions=(1,),
+        )
+
+    with pytest.raises(ValueError, match="at least one column"):
+        SimulationStats(
+            reference_ticks=1, columns=(), horizontal_words=0
+        )
+    with pytest.raises(ValueError, match="reports index"):
+        SimulationStats(
+            reference_ticks=1, columns=(column(1),),
+            horizontal_words=0,
+        )
+    with pytest.raises(ValueError, match="ColumnStats instances"):
+        SimulationStats(
+            reference_ticks=1, columns=("nope",), horizontal_words=0
+        )
+    stats = SimulationStats(
+        reference_ticks=1, columns=[column(0)], horizontal_words=0
+    )
+    assert isinstance(stats.columns, tuple)

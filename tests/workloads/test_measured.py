@@ -17,8 +17,9 @@ def table():
 
 def test_table_covers_all_kernels(table):
     assert set(table) == {
-        "fir-8tap", "complex-mixer", "cic-integrator-chain",
-        "viterbi-acs-butterfly", "dct-8point-q14",
+        "fir-8tap", "complex-mixer", "mixer-stream",
+        "cic-integrator-chain", "viterbi-acs-butterfly",
+        "dct-8point-q14",
     }
     for entry in table.values():
         assert entry["cycles_per_sample"] > 0
@@ -60,3 +61,66 @@ def test_measured_integrator_matches_calibration_order():
     calibrated_per_column = 5.620 / 2.0
     ratio = calibrated_per_column / measured_per_column
     assert 0.3 < ratio < 3.0
+
+
+# ----------------------------------------------------------------------
+# measured application pipeline (run_many -> ActivityProfile -> specs)
+# ----------------------------------------------------------------------
+def test_kernel_request_round_trip():
+    """A kernel converts into a picklable request that replays its
+    exact run."""
+    import pickle
+
+    from repro.sim.batch import execute
+    from repro.workloads.measured import kernel_request
+
+    kernel = build_cic_chain_kernel()
+    request = kernel_request(kernel)
+    pickle.dumps(request)  # must cross a process boundary
+    stats = execute(request)
+    direct = run_kernel(kernel).stats
+    assert stats == direct
+
+
+def test_measured_activities_run_once_via_run_many():
+    from repro.workloads.measured import (
+        _ACTIVITY_MEMO,
+        measured_activities,
+    )
+
+    activities = measured_activities(
+        ["cic-integrator-chain", "mixer-stream"]
+    )
+    assert activities["cic-integrator-chain"].words_per_cycle > 1.0
+    assert activities["mixer-stream"].words_per_cycle > 0.3
+    # memoized: a second call returns the identical objects
+    again = measured_activities(["mixer-stream"])
+    assert again["mixer-stream"] is activities["mixer-stream"]
+    assert "mixer-stream" in _ACTIVITY_MEMO
+
+
+def test_measured_application_mixes_sources():
+    from repro.workloads.measured import measured_application
+
+    app = measured_application("ddc")
+    by_name = {c.name: c for c in app.components}
+    assert by_name["CIC Integrator"].measured
+    assert not by_name["CIC Comb"].measured  # analytical fallback
+    # the fallback keeps the calibrated profile verbatim
+    assert by_name["CIC Comb"].spec == by_name["CIC Comb"].analytical
+    # measured specs keep the Table 4 operating point
+    assert by_name["CIC Integrator"].spec.frequency_mhz == 200.0
+    assert by_name["CIC Integrator"].spec.n_tiles == 8
+    assert 0.0 < app.measured_fraction < 1.0
+
+
+def test_measured_mixer_matches_calibration():
+    """The streaming mixer lands within ~2x of the calibrated
+    1.112 words/cycle for the 8-tile component."""
+    from repro.workloads.measured import measured_application
+
+    app = measured_application("ddc")
+    mixer = app.components[0]
+    assert mixer.name == "Digital Mixer"
+    assert mixer.words_ratio is not None
+    assert 0.5 < mixer.words_ratio < 2.0
