@@ -173,11 +173,33 @@ class Chip:
                 "a horizontal DOU needs at least two columns"
             )
         self.reference_ticks = 0
+        #: Per-column PLL-relock gate: a column receives no tile-clock
+        #: edges at reference ticks below its entry (runtime DVFS
+        #: transitions stall the retuned column while its divided
+        #: clock relocks; see repro.control.transitions).
+        self.clock_gate_until = [0] * config.n_columns
 
     @property
     def all_halted(self) -> bool:
         """Whether every column program has finished."""
         return all(col.halted for col in self.columns)
+
+    def retune(self, dividers) -> None:
+        """Commit new column dividers (runtime DVFS).
+
+        Divider changes are only legal at a hyperperiod boundary of
+        the *outgoing* clock: every column phase is aligned there, so
+        the retuned edge schedule stays deterministic and the compiled
+        engine's striding remains exact (Section 2.4's single-PLL
+        argument, extended to runtime).
+        """
+        if self.reference_ticks % self.clock.hyperperiod() != 0:
+            raise ConfigurationError(
+                f"retune at tick {self.reference_ticks} is not on a "
+                f"hyperperiod boundary (hyperperiod "
+                f"{self.clock.hyperperiod()})"
+            )
+        self.clock = self.clock.with_dividers(dividers)
 
     def step_reference_tick(self, observers: tuple = ()) -> None:
         """One reference-clock tick: buses first, then due columns.
@@ -198,7 +220,8 @@ class Chip:
         if self.horizontal_dou is not None:
             self.horizontal_dou.step()
         for index, column in enumerate(self.columns):
-            if self.clock.ticks(index, tick):
+            if self.clock.ticks(index, tick) \
+                    and tick >= self.clock_gate_until[index]:
                 if observers:
                     pc = column.controller.pc
                     outcome = column.step_tile_clock()

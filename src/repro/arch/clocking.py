@@ -81,3 +81,21 @@ class ClockTree:
         numerator, denominator = self.dividers[b], self.dividers[a]
         g = math.gcd(numerator, denominator)
         return (numerator // g, denominator // g)
+
+    def with_dividers(self, dividers: Sequence[int]) -> "ClockTree":
+        """The same reference PLL with retuned column dividers.
+
+        This is the runtime-DVFS retuning primitive: the reference
+        clock never changes (one PLL, Section 2.4), only the integer
+        dividers do, so inter-column ratios stay rational after every
+        retune.  Validation is the constructor's; the *legality* of a
+        retune (commit only at a hyperperiod boundary, PLL relock
+        stall) is enforced by the control layer
+        (:mod:`repro.control.transitions`).
+        """
+        if len(dividers) != len(self.dividers):
+            raise ConfigurationError(
+                f"retune must keep {len(self.dividers)} domains, "
+                f"got {len(dividers)}"
+            )
+        return ClockTree(self.reference_mhz, dividers)

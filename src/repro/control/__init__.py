@@ -1,0 +1,39 @@
+"""Runtime DVFS control subsystem.
+
+Closes the loop the paper leaves static: feedback
+:mod:`governors <repro.control.governor>` observe buffer occupancy
+and deadline slack at epoch boundaries, a
+:mod:`transition model <repro.control.transitions>` prices and
+legality-checks each divider/rail change (PLL relock, rail
+charge/discharge, hyperperiod-boundary commits), and the
+:mod:`epoch runner <repro.control.epochs>` drives any simulation
+engine through the resulting `(ClockTree, duration)` timeline with
+bit-identical statistics on the compiled and reference paths.
+"""
+
+from repro.control.governor import (
+    Governor,
+    OccupancyPIGovernor,
+    SlackGovernor,
+    StaticGovernor,
+    Telemetry,
+)
+from repro.control.transitions import TransitionModel, TransitionRecord
+from repro.control.epochs import (
+    GovernedRun,
+    run_governed,
+    snapshot_telemetry,
+)
+
+__all__ = [
+    "Governor",
+    "GovernedRun",
+    "OccupancyPIGovernor",
+    "SlackGovernor",
+    "StaticGovernor",
+    "Telemetry",
+    "TransitionModel",
+    "TransitionRecord",
+    "run_governed",
+    "snapshot_telemetry",
+]

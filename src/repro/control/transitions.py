@@ -1,0 +1,196 @@
+"""PLL-relock and voltage-rail transition model for runtime DVFS.
+
+Synchroscalar picks each column's divider and rail once at startup
+(Section 2.4); making that choice dynamic costs something the static
+paper never had to model:
+
+* **relock latency** - retuning a column's divided clock glitches its
+  phase, so the column is clock-gated while the divider output
+  relocks.  Modelled as a fixed real-time window converted to
+  reference ticks (the only time base the simulator has).
+* **rail transition energy** - moving a domain between discrete
+  supply rails charges or discharges the rail's decoupling
+  capacitance.  Modelled as ``1/2 * C_rail * |V_new^2 - V_old^2|``
+  per tile, with ``C_rail`` expressed as a multiple of the tile's
+  effective switched capacitance (derived from Table 1's
+  ``U = 0.1 mW/MHz`` at the 1.0 V reference: P = C V^2 f gives
+  C_eff = U / V_ref^2 = 0.1 nF per tile).
+* **legality** - divider changes commit only at hyperperiod
+  boundaries of the outgoing clock, where every column phase is
+  aligned; anywhere else the retuned edge schedule would depend on
+  sub-hyperperiod phase and the compiled engine's striding contract
+  would break.
+
+Voltages come from the same :class:`~repro.tech.vf_curve` lookup and
+discrete rail set the static methodology uses (Section 4.1 step 8),
+so a governor's operating points are always points the paper's
+hardware could actually configure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.tech.parameters import PAPER_TECHNOLOGY, TechnologyParameters
+from repro.tech.vf_curve import VoltageFrequencyCurve
+
+__all__ = ["TransitionModel", "TransitionRecord"]
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One committed per-column operating-point change."""
+
+    tick: int
+    column: int
+    from_divider: int
+    to_divider: int
+    from_voltage_v: float
+    to_voltage_v: float
+    relock_ticks: int
+    energy_nj: float
+
+    @property
+    def label(self) -> str:
+        """Short human-readable summary for reports."""
+        return (
+            f"t{self.tick} col{self.column} "
+            f"/{self.from_divider}->{self.to_divider} "
+            f"{self.from_voltage_v:.2f}V->{self.to_voltage_v:.2f}V"
+        )
+
+
+class TransitionModel:
+    """Costs and legality of runtime divider/voltage changes.
+
+    Parameters
+    ----------
+    tech, curve, rails:
+        The technology the static methodology already uses; voltages
+        for any divided frequency are quantized onto the same discrete
+        rail set as Table 4.
+    relock_us:
+        Real-time PLL/divider relock window.  A retuned column is
+        clock-gated for ``ceil(relock_us * reference_mhz)`` reference
+        ticks.
+    rail_capacitance_multiple:
+        Rail decoupling capacitance per tile as a multiple of the
+        tile's effective switched capacitance (C_eff = U / V_ref^2).
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyParameters = PAPER_TECHNOLOGY,
+        curve: VoltageFrequencyCurve | None = None,
+        rails: Sequence[float] | None = None,
+        relock_us: float = 0.1,
+        rail_capacitance_multiple: float = 50.0,
+    ) -> None:
+        if relock_us < 0:
+            raise ConfigurationError("relock_us must be non-negative")
+        if rail_capacitance_multiple < 0:
+            raise ConfigurationError(
+                "rail_capacitance_multiple must be non-negative"
+            )
+        self.tech = tech
+        self.curve = curve or VoltageFrequencyCurve.from_technology(tech)
+        self.rails = tuple(rails) if rails is not None \
+            else tech.voltage_rails
+        self.relock_us = float(relock_us)
+        # C_eff per tile in nF: U [mW/MHz] / V_ref^2 (P = C V^2 f).
+        c_eff_nf = tech.tile_power_mw_per_mhz \
+            / (tech.u_reference_voltage ** 2)
+        self.rail_capacitance_nf_per_tile = (
+            rail_capacitance_multiple * c_eff_nf
+        )
+
+    # ------------------------------------------------------------------
+    # primitive terms
+    # ------------------------------------------------------------------
+    def voltage_for(
+        self, reference_mhz: float, divider: int
+    ) -> float:
+        """Minimum rail supporting ``reference_mhz / divider``."""
+        return self.curve.quantize_voltage(
+            reference_mhz / divider, self.rails
+        )
+
+    def relock_ticks(self, reference_mhz: float) -> int:
+        """Reference ticks a retuned column spends clock-gated."""
+        return math.ceil(self.relock_us * reference_mhz)
+
+    def transition_energy_nj(
+        self, v_from: float, v_to: float, n_tiles: int
+    ) -> float:
+        """Rail charge/discharge energy for one domain's rail move.
+
+        ``1/2 * C_rail * |V_to^2 - V_from^2|`` per tile, in nJ
+        (nF x V^2).  Zero when the rail does not change - a pure
+        divider retune only pays the relock stall.
+        """
+        delta = abs(v_to * v_to - v_from * v_from)
+        return 0.5 * self.rail_capacitance_nf_per_tile * n_tiles * delta
+
+    # ------------------------------------------------------------------
+    # legality and planning
+    # ------------------------------------------------------------------
+    def check_legal(self, tick: int, clock) -> None:
+        """Raise unless ``tick`` is a commit-legal boundary.
+
+        Divider changes commit only at hyperperiod boundaries of the
+        outgoing clock, where all column phases realign.
+        """
+        period = clock.hyperperiod()
+        if tick % period != 0:
+            raise ConfigurationError(
+                f"divider change at tick {tick} is illegal: commits "
+                f"happen only at hyperperiod boundaries (hyperperiod "
+                f"{period})"
+            )
+
+    def plan(
+        self,
+        tick: int,
+        clock,
+        new_dividers: Sequence[int],
+        tiles_per_column: int | None = None,
+    ) -> tuple:
+        """Transition records for retuning ``clock`` to new dividers.
+
+        Validates legality, then emits one :class:`TransitionRecord`
+        per *changed* column with its rail move, relock window, and
+        transition energy.  Unchanged columns cost nothing.
+        """
+        self.check_legal(tick, clock)
+        if len(new_dividers) != len(clock.dividers):
+            raise ConfigurationError(
+                f"plan must cover {len(clock.dividers)} columns, "
+                f"got {len(new_dividers)}"
+            )
+        n_tiles = tiles_per_column if tiles_per_column is not None \
+            else self.tech.tiles_per_column
+        relock = self.relock_ticks(clock.reference_mhz)
+        records = []
+        for column, (old, new) in enumerate(
+            zip(clock.dividers, new_dividers)
+        ):
+            if old == new:
+                continue
+            v_old = self.voltage_for(clock.reference_mhz, old)
+            v_new = self.voltage_for(clock.reference_mhz, new)
+            records.append(TransitionRecord(
+                tick=tick,
+                column=column,
+                from_divider=old,
+                to_divider=new,
+                from_voltage_v=v_old,
+                to_voltage_v=v_new,
+                relock_ticks=relock,
+                energy_nj=self.transition_energy_nj(
+                    v_old, v_new, n_tiles
+                ),
+            ))
+        return tuple(records)

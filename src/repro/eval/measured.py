@@ -11,10 +11,13 @@ Documented tolerances
 Measured interconnect power is expected *below* the calibrated
 numbers, inside the per-application ratio windows of ``TOLERANCES``:
 
-* DDC: measured/analytical interconnect in [0.25, 1.5].  The mixer
+* DDC: measured/analytical interconnect in [0.15, 1.5].  The mixer
   and CIC integrator kernels land within ~2x of their calibrated
-  words/cycle; the CIC comb (cross-column gather/scatter, no
-  single-column kernel) stays analytical.
+  words/cycle; the CIC comb's gather/scatter kernel counts ~50x
+  fewer words than the calibrated 10.59 w/c - like the ACS row, the
+  calibrated comb profile back-solves the whole Table 4 residual
+  into bus traffic, so measuring it pulls the application ratio just
+  below the previous floor.
 * 802.11a (+AES): measured/analytical interconnect in [0.05, 1.5].
   The calibrated ACS profile (13.56 words/cycle) back-solves the
   whole Table 4 residual into bus traffic, while counting real
@@ -38,7 +41,7 @@ from repro.workloads.measured import MeasuredApplication, measured_application
 
 #: (low, high) acceptable measured/analytical interconnect ratios.
 TOLERANCES = {
-    "DDC": (0.25, 1.5),
+    "DDC": (0.15, 1.5),
     "802.11a": (0.05, 1.5),
     "802.11a + AES": (0.05, 1.5),
 }

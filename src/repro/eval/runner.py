@@ -7,6 +7,7 @@ Options::
     python -m repro.eval.runner --output results/    # write .txt files
     python -m repro.eval.runner --jobs 4             # render in parallel
     python -m repro.eval.runner --measured           # sim-driven power
+    python -m repro.eval.runner --dvfs               # governor eval
 
 Experiments are independent pure functions of the model, so they
 render concurrently through :func:`repro.sim.batch.parallel_map`.
@@ -16,6 +17,11 @@ and the Figure 8 sweep) from simulated activity batched through
 :func:`repro.sim.batch.run_many`, and emits a ``BENCH_power.json``
 artifact recording the measured-vs-analytical deltas and the
 energy-ledger conservation audit.
+
+``--dvfs`` runs the bursty scenarios under the runtime-DVFS
+governors (:mod:`repro.eval.dvfs`), asserts the
+governors-beat-static-at-zero-misses contract, and emits
+``BENCH_dvfs.json``.  ``BENCH_SMOKE=1`` shortens the traces for CI.
 """
 
 from __future__ import annotations
@@ -136,7 +142,31 @@ def main(argv: list | None = None) -> None:
         help="regenerate Table 4 / Figure 6 / Figure 8 from simulated "
              "activity and emit BENCH_power.json",
     )
+    parser.add_argument(
+        "--dvfs", action="store_true",
+        help="run the bursty scenarios under the DVFS governors, "
+             "assert the energy-vs-deadline contract, and emit "
+             "BENCH_dvfs.json",
+    )
     args = parser.parse_args(argv)
+    if args.dvfs:
+        from repro.eval import dvfs
+
+        if args.experiments:
+            parser.error("--dvfs runs its own scenarios; drop "
+                         "--experiment")
+        if args.measured:
+            parser.error("--dvfs and --measured are separate "
+                         "evaluations; run them one at a time")
+        if args.jobs != 1:
+            parser.error("--dvfs evaluates scenarios sequentially; "
+                         "--jobs does not apply")
+        evaluations = dvfs.evaluate_all()
+        payload = dvfs.bench_payload(evaluations)
+        print(dvfs.render(evaluations))
+        target = dvfs.write_bench(args.output or ".", payload)
+        print(f"wrote {target}")
+        return
     if args.measured:
         from repro.eval.measured import write_bench
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arch.dou_compiler import chain_schedule
+from repro.arch.chip import PORT_POSITION
+from repro.arch.dou_compiler import Transfer, chain_schedule, \
+    compile_schedule
 from repro.isa.assembler import assemble
 from repro.isa.registers import signed32
 from repro.kernels.base import Kernel
@@ -50,6 +52,82 @@ def _pipeline_reference(signal: list, stages: int = 4) -> list:
             integrated.append(total)
         stream = integrated
     return stream
+
+
+def _comb_program(samples: int, delay: int):
+    return assemble(f"""
+        .equ samples, {samples}
+        tmask 0x1
+        movi p0, 0           ; delay-line read pointer (x[n-D])
+        movi p1, {delay}     ; delay-line write pointer (x[n])
+        loop samples
+          tmask 0x1
+          recv r1            ; decimated sample from the port
+          ld r2, [p0++]      ; x[n-D]
+          st [p1++], r1
+          sub r3, r1, r2     ; comb: y[n] = x[n] - x[n-D]
+          send r3            ; scatter y to the FIR stand-ins
+          tmask 0x6
+          recv r4            ; tiles 1+2 take their copies...
+          send r4            ; ...and redistribute toward the port
+        endloop
+        halt
+    """, "cic-comb")
+
+
+def _comb_reference(signal: list, delay: int) -> list:
+    padded = [0] * delay + list(signal)
+    return [x - padded[i] for i, x in enumerate(signal)]
+
+
+def build_cic_comb_kernel(
+    samples: int = 24, delay: int = 4, seed: int = 5
+) -> Kernel:
+    """The comb stage's gather/scatter (Table 4 "CIC Comb").
+
+    The comb column *receives* the decimated stream through its port,
+    differences it against a D-deep delay line, and *redistributes*
+    every output to both FIR columns on its behalf - modelled here as
+    tiles 1 and 2 each capturing the scattered comb output and
+    forwarding their copy to the port.  Communication dominates
+    compute (four bus words per sample against seven issued
+    instructions), which is exactly why the paper's comb row is
+    traffic-heavy despite its 40 MHz clock.
+    """
+    rng = np.random.default_rng(seed)
+    signal = [int(v) for v in rng.integers(-500, 500, samples)]
+    expected = _comb_reference(signal, delay)
+
+    schedule = compile_schedule([
+        [Transfer(src=PORT_POSITION, dsts=(0,))],     # sample in
+        [Transfer(src=0, dsts=(1, 2))],               # scatter y
+        [Transfer(src=1, dsts=(PORT_POSITION,)),      # gather both
+         Transfer(src=2, dsts=(PORT_POSITION,))],     # copies out
+    ], name="comb-gather-scatter")
+
+    def checker(chip, stats) -> None:
+        drained = [signed32(w) for w in chip.drain_column(0)]
+        assert len(drained) == 2 * samples, (
+            f"expected {2 * samples} redistributed words, "
+            f"got {len(drained)}"
+        )
+        for index, value in enumerate(expected):
+            pair = drained[2 * index:2 * index + 2]
+            assert pair == [value, value], (
+                f"sample {index}: redistributed {pair} != "
+                f"comb output {value}"
+            )
+
+    return Kernel(
+        name="cic-comb-scatter",
+        program=_comb_program(samples, delay),
+        samples=samples,
+        checker=checker,
+        dou_program=schedule,
+        input_words=signal,
+        memory_images={0: {0: [0] * delay}},
+        max_ticks=50_000,
+    )
 
 
 def build_cic_chain_kernel(samples: int = 24, seed: int = 3) -> Kernel:

@@ -21,16 +21,25 @@ exploits that in two interchangeable engines behind one interface:
     produces :class:`~repro.sim.stats.SimulationStats` identical to
     the reference engine - a property enforced by differential tests.
 
+Both engines expose :meth:`Engine.advance` - run for a bounded window
+of reference ticks - which is the primitive the runtime-DVFS epoch
+layer (:mod:`repro.control.epochs`) builds on: each epoch retunes the
+clock tree at a hyperperiod boundary and advances one window.  The
+compiled engine recompiles its activity plan per divider tuple behind
+a cache, so a governor revisiting an operating point pays for its
+edge schedule once.
+
 Engines only require the :class:`~repro.arch.chip.Chip` duck type:
 ``columns``, ``clock``, ``horizontal_dou``, ``all_halted``,
-``reference_ticks``, and ``step_reference_tick``.
+``reference_ticks``, ``clock_gate_until``, and
+``step_reference_tick``.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.arch.chip import Chip
 from repro.sim.stats import SimulationStats, collect
 
@@ -65,6 +74,22 @@ def _run_ticked(
     return collect(chip)
 
 
+def _advance_ticked(chip: Chip, observers: tuple, ticks: int) -> int:
+    """Advance up to ``ticks`` reference ticks, stopping at all-halt.
+
+    Mirrors the main loop of :func:`_run_ticked` exactly (all_halted
+    is observed *before* each step), so windowed and open-ended runs
+    agree tick for tick.  Returns the ticks actually consumed.
+    """
+    consumed = 0
+    while consumed < ticks:
+        if chip.all_halted:
+            break
+        chip.step_reference_tick(observers)
+        consumed += 1
+    return consumed
+
+
 class Engine:
     """Common interface: advance a chip and collect its statistics.
 
@@ -82,6 +107,18 @@ class Engine:
     def step(self) -> None:
         """Advance exactly one reference tick."""
         self.chip.step_reference_tick(self.observers)
+
+    def advance(self, ticks: int) -> int:
+        """Advance up to ``ticks`` reference ticks; stop at all-halt.
+
+        The epoch primitive: between calls the control layer may
+        retune the chip's clock tree (at a hyperperiod boundary) and
+        gate relocking columns; within a call the clock is constant.
+        Returns the number of ticks actually consumed, which is less
+        than ``ticks`` only when every column halted inside the
+        window.
+        """
+        return _advance_ticked(self.chip, self.observers, ticks)
 
     def run(
         self,
@@ -126,8 +163,10 @@ class CompiledEngine(Engine):
 
     At construction the engine classifies every DOU (inert programs
     can never move a word, so stepping them is invisible to the
-    statistics) and compiles the clock tree's edge schedule.  Two
-    striding modes follow:
+    statistics); the clock tree's edge schedule is compiled lazily,
+    per divider tuple, into a plan cache - runtime retuning through
+    :meth:`~repro.arch.chip.Chip.retune` just selects another plan.
+    Two striding modes follow:
 
     * every DOU inert ("sparse"): only reference ticks carrying at
       least one live column edge are visited; everything between is
@@ -139,22 +178,20 @@ class CompiledEngine(Engine):
 
     In both modes a column that has halted stops being stepped; the
     bubbles and tile cycles the reference engine would have accrued on
-    its remaining clock edges are reconstructed arithmetically before
-    statistics are collected, as is the post-halt drain.  ``until``
-    predicates and observers need tick-accurate visibility, so their
-    presence falls back to the shared tick-by-tick loop.
+    its remaining clock edges are reconstructed arithmetically at the
+    end of each window, as is the post-halt bus drain.  PLL-relock
+    gates (``chip.clock_gate_until``) suppress a column's edges the
+    same way the reference stepping loop does.  ``until`` predicates
+    and observers need tick-accurate visibility, so their presence
+    falls back to the shared tick-by-tick loop.
     """
 
     name = "compiled"
 
     def __init__(self, chip: Chip, observers: tuple = ()) -> None:
         super().__init__(chip, observers)
-        self._hyperperiod = chip.clock.hyperperiod()
-        self._edges = chip.clock.edge_schedule()
-        self._active_offsets = tuple(
-            offset for offset, columns in enumerate(self._edges)
-            if columns
-        )
+        #: divider tuple -> (hyperperiod, edge table, active offsets)
+        self._plans: dict = {}
         self._inert = [
             column.dou.program.is_inert() for column in chip.columns
         ]
@@ -172,6 +209,35 @@ class CompiledEngine(Engine):
             None if self._horizontal_inert else chip.horizontal_dou
         )
 
+    def _plan(self) -> tuple:
+        """The compiled activity schedule for the current dividers.
+
+        Cached per divider tuple, so an epoch run that revisits an
+        operating point compiles its edge table exactly once.
+        """
+        key = self.chip.clock.dividers
+        plan = self._plans.get(key)
+        if plan is None:
+            clock = self.chip.clock
+            period = clock.hyperperiod()
+            edges = clock.edge_schedule()
+            active = tuple(
+                offset for offset, columns in enumerate(edges)
+                if columns
+            )
+            plan = (period, edges, active)
+            self._plans[key] = plan
+        return plan
+
+    def advance(self, ticks: int) -> int:
+        if self.observers:
+            return _advance_ticked(self.chip, self.observers, ticks)
+        if ticks <= 0 or self.chip.all_halted:
+            return 0
+        start = self.chip.reference_ticks
+        end = self._stride_window(start + ticks)
+        return end - start
+
     def run(
         self,
         max_ticks: int = DEFAULT_MAX_TICKS,
@@ -183,44 +249,50 @@ class CompiledEngine(Engine):
                 self.chip, self.observers, max_ticks, until,
                 drain_hyperperiods,
             )
-        # Snapshot cycle counters so the owed-edge arithmetic in
-        # _settle can tell skipped edges from stepped ones even when
-        # the chip was advanced before run() was called.
-        self._initial_cycles = [
-            column.tile_cycles for column in self.chip.columns
-        ]
         start = self.chip.reference_ticks
-        if self._all_inert:
-            halt_tick = self._advance_sparse(max_ticks)
-        else:
-            halt_tick = self._advance_dense(max_ticks)
+        end = self._stride_window(start + max_ticks)
         # The reference loop spends one budget iteration *observing*
         # all_halted after the final step, so a chip halting on the
         # very last tick in budget still exhausts it.
-        if halt_tick - start >= max_ticks:
+        if end - start >= max_ticks:
             raise _budget_error(max_ticks)
-        self._settle(halt_tick, drain_hyperperiods)
+        period = self._plan()[0]
+        self._drain(drain_hyperperiods * period)
         return collect(self.chip)
 
     # ------------------------------------------------------------------
     # striding
     # ------------------------------------------------------------------
-    def _advance_sparse(self, max_ticks: int) -> int:
-        """All DOUs inert: jump from live edge to live edge.
+    def _stride_window(self, limit: int) -> int:
+        """Advance from the current tick to at most ``limit``.
 
-        Returns the tick at which the reference loop would observe
-        ``all_halted`` (one past the last stepped tick).
+        Stops early the moment every column has halted (at the same
+        tick the reference loop would observe ``all_halted``), settles
+        the skipped arithmetic for the window, and returns the end
+        tick.
         """
         chip = self.chip
-        columns = chip.columns
-        period = self._hyperperiod
-        edges = self._edges
-        active = self._active_offsets
         start = chip.reference_ticks
-        deadline = start + max_ticks
+        initial_cycles = [
+            column.tile_cycles for column in chip.columns
+        ]
+        if self._all_inert:
+            end = self._sparse_until(start, limit)
+        else:
+            end = self._dense_until(start, limit)
+        self._settle_window(start, end, initial_cycles)
+        chip.reference_ticks = end
+        return end
+
+    def _sparse_until(self, start: int, limit: int) -> int:
+        """All DOUs inert: jump from live edge to live edge."""
+        chip = self.chip
+        columns = chip.columns
+        gates = list(chip.clock_gate_until)
+        period, edges, active = self._plan()
         live = sum(not column.halted for column in columns)
         tick = start
-        while live:
+        while live and tick < limit:
             offset = tick % period
             base = tick - offset
             jump = None
@@ -230,40 +302,36 @@ class CompiledEngine(Engine):
                     break
             if jump is None:
                 jump = base + period + active[0]
-            if jump >= deadline:
-                raise _budget_error(max_ticks)
+            if jump >= limit:
+                return limit
             for index in edges[jump % period]:
                 column = columns[index]
-                if column.halted:
+                if column.halted or jump < gates[index]:
                     continue
                 column.step_tile_clock()
                 if column.halted:
                     live -= 1
             tick = jump + 1
-        return tick
+        return tick if live == 0 else limit
 
-    def _advance_dense(self, max_ticks: int) -> int:
+    def _dense_until(self, start: int, limit: int) -> int:
         """Some DOU moves data: step every tick, skip what is dead."""
         chip = self.chip
         columns = chip.columns
-        period = self._hyperperiod
-        edges = self._edges
+        gates = list(chip.clock_gate_until)
+        period, edges, _ = self._plan()
         live_dous = self._live_dous
         horizontal = self._live_horizontal
-        start = chip.reference_ticks
-        deadline = start + max_ticks
         live = sum(not column.halted for column in columns)
         tick = start
-        while live:
-            if tick >= deadline:
-                raise _budget_error(max_ticks)
+        while live and tick < limit:
             for dou in live_dous:
                 dou.step()
             if horizontal is not None:
                 horizontal.step()
             for index in edges[tick % period]:
                 column = columns[index]
-                if column.halted:
+                if column.halted or tick < gates[index]:
                     continue
                 column.step_tile_clock()
                 if column.halted:
@@ -272,49 +340,61 @@ class CompiledEngine(Engine):
         return tick
 
     # ------------------------------------------------------------------
-    # post-halt settlement
+    # post-window settlement
     # ------------------------------------------------------------------
-    def _settle(self, halt_tick: int, drain_hyperperiods: int) -> None:
-        """Reconstruct everything the striding skipped.
+    def _settle_window(
+        self, start: int, end: int, initial_cycles: list
+    ) -> None:
+        """Reconstruct everything the striding skipped in [start, end).
 
-        The reference engine drains ``drain_hyperperiods`` full
-        hyperperiods after the halt tick, and on every skipped clock
-        edge of a halted column it would have recorded exactly one
-        bubble tile cycle (the controller refuses to fetch past HALT).
-        Both are recovered here in closed form.  A live DOU may still
-        hold in-flight words at halt time, so the dense drain steps
-        those faithfully; inert DOUs just have their skipped cycles
-        accounted.
+        On every skipped clock edge of a halted column the reference
+        engine would have recorded exactly one bubble tile cycle (the
+        controller refuses to fetch past HALT); edges suppressed by a
+        PLL-relock gate are skipped by both engines and owe nothing.
+        Inert DOUs have their skipped cycles accounted in closed form.
+        The clock tree is constant within a window (retunes commit
+        only between windows), so ``edges_in`` is exact.
         """
         chip = self.chip
         clock = chip.clock
-        start = chip.reference_ticks
-        drain = drain_hyperperiods * self._hyperperiod
-        end = halt_tick + drain
-        if not self._all_inert:
-            # Step the live DOUs through the drain window tick by
-            # tick; words parked in write buffers keep moving exactly
-            # as under the reference engine.
-            for _ in range(drain):
-                for dou in self._live_dous:
-                    dou.step()
-                if self._live_horizontal is not None:
-                    self._live_horizontal.step()
+        span = end - start
+        if span <= 0:
+            return
         for index, column in enumerate(chip.columns):
-            # Edges the column saw while skipped: from run start to
-            # the drain's end, minus the ones actually stepped.
+            gate = chip.clock_gate_until[index]
+            low = min(end, max(start, gate))
             owed = (
-                clock.edges_in(index, start, end)
-                - (column.tile_cycles - self._initial_cycles[index])
+                clock.edges_in(index, low, end)
+                - (column.tile_cycles - initial_cycles[index])
             )
             if owed:
                 column.tile_cycles += owed
                 column.controller.bubbles += owed
             if self._inert[index]:
-                column.dou.fast_forward(end - start)
+                column.dou.fast_forward(span)
         if self._horizontal_inert and chip.horizontal_dou is not None:
-            chip.horizontal_dou.fast_forward(end - start)
-        chip.reference_ticks = end
+            chip.horizontal_dou.fast_forward(span)
+
+    def _drain(self, ticks: int) -> None:
+        """Drain the buses for ``ticks`` after every column halted.
+
+        A live DOU may still hold in-flight words at halt time, so the
+        dense drain steps those faithfully; everything else (owed
+        bubble edges, inert DOU cycles) settles arithmetically.
+        """
+        chip = self.chip
+        start = chip.reference_ticks
+        initial_cycles = [
+            column.tile_cycles for column in chip.columns
+        ]
+        if not self._all_inert:
+            for _ in range(ticks):
+                for dou in self._live_dous:
+                    dou.step()
+                if self._live_horizontal is not None:
+                    self._live_horizontal.step()
+        self._settle_window(start, start + ticks, initial_cycles)
+        chip.reference_ticks = start + ticks
 
 
 ENGINES = {
@@ -335,13 +415,20 @@ def create_engine(
     attached (tick-accurate visibility is not needed, and an ``until``
     predicate at run time still falls back to the shared tick loop);
     with observers it picks the reference engine outright.
+
+    Raises
+    ------
+    ConfigurationError
+        For names outside the registry - a configuration mistake, not
+        a simulation failure, so it is distinguishable from runtime
+        errors like deadlocked schedules.
     """
     if name == AUTO_ENGINE:
         name = ReferenceEngine.name if observers else CompiledEngine.name
     try:
         factory = ENGINES[name]
     except KeyError:
-        raise SimulationError(
+        raise ConfigurationError(
             f"unknown engine {name!r}; available: {sorted(ENGINES)}"
         ) from None
     return factory(chip, observers)

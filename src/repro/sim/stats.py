@@ -6,6 +6,69 @@ from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
+class EpochColumnActivity:
+    """One column's activity deltas over a single epoch window.
+
+    Deltas are exact because every engine settles its striding
+    arithmetic at each epoch boundary; the control layer charges
+    per-epoch energy from the busy split and reports the idle share
+    (over-provisioned runs stall; governed runs run slow instead).
+    """
+
+    tile_cycles: int
+    issued: int
+    idle: int
+    bus_words: int
+
+    @property
+    def busy_fraction(self) -> float:
+        """Issued instructions per tile cycle inside the epoch."""
+        if self.tile_cycles == 0:
+            return 0.0
+        return self.issued / self.tile_cycles
+
+    @property
+    def words_per_cycle(self) -> float:
+        """Vertical-bus words per tile cycle inside the epoch."""
+        if self.tile_cycles == 0:
+            return 0.0
+        return self.bus_words / self.tile_cycles
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One segment of a dynamically clocked run.
+
+    The divider tuple is constant inside the segment; per-domain
+    frequency residency and time-varying energy accounting both
+    aggregate over these records.  ``column_activity`` optionally
+    carries each column's counter deltas over the window.
+    """
+
+    index: int
+    start_tick: int
+    end_tick: int
+    dividers: tuple
+    column_activity: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dividers", tuple(self.dividers))
+        object.__setattr__(
+            self, "column_activity", tuple(self.column_activity)
+        )
+        if self.end_tick < self.start_tick:
+            raise ValueError(
+                f"epoch {self.index}: end {self.end_tick} before "
+                f"start {self.start_tick}"
+            )
+
+    @property
+    def duration_ticks(self) -> int:
+        """Reference ticks the epoch spans."""
+        return self.end_tick - self.start_tick
+
+
+@dataclass(frozen=True)
 class ColumnStats:
     """Per-column execution summary.
 
@@ -88,7 +151,11 @@ class SimulationStats:
 
     ``domain_energy`` is empty until a power-layer
     :class:`~repro.power.measured.EnergyLedger` attaches its
-    per-domain breakdown (the sim layer never imports power).
+    per-domain breakdown (the sim layer never imports power), and
+    ``epochs`` is empty until a control-layer epoch run attaches its
+    :class:`EpochRecord` timeline - plain ``collect`` never populates
+    either, so statically clocked runs stay bit-comparable with and
+    without the control layer in the loop.
     """
 
     reference_ticks: int
@@ -97,9 +164,14 @@ class SimulationStats:
     reference_mhz: float = 0.0
     horizontal_span_words: float = 0.0
     domain_energy: tuple = ()
+    epochs: tuple = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "epochs", tuple(self.epochs))
+        for epoch in self.epochs:
+            if not isinstance(epoch, EpochRecord):
+                raise ValueError("epochs must be EpochRecord instances")
         if not self.columns:
             raise ValueError("a run must report at least one column")
         for position, column in enumerate(self.columns):
@@ -144,6 +216,32 @@ class SimulationStats:
         """
         return self.cycles_per_sample(column, samples) * sample_rate_msps
 
+    def frequency_residency(self, column: int) -> dict:
+        """{frequency MHz: reference ticks spent there} for one column.
+
+        With an attached epoch timeline the histogram aggregates over
+        the time-varying divider; a statically clocked run reports its
+        whole duration at the configured rate.  Residency covers the
+        attached epochs plus any post-halt drain at the final clock.
+        """
+        if not self.epochs:
+            return {self.columns[column].frequency_mhz:
+                    self.reference_ticks}
+        residency: dict = {}
+        covered = 0
+        for epoch in self.epochs:
+            frequency = self.reference_mhz / epoch.dividers[column]
+            residency[frequency] = (
+                residency.get(frequency, 0) + epoch.duration_ticks
+            )
+            covered = max(covered, epoch.end_tick)
+        drain = self.reference_ticks - covered
+        if drain > 0:
+            frequency = self.reference_mhz \
+                / self.epochs[-1].dividers[column]
+            residency[frequency] = residency.get(frequency, 0) + drain
+        return residency
+
 
 def collect(chip) -> SimulationStats:
     """Snapshot statistics from a chip."""
@@ -152,7 +250,10 @@ def collect(chip) -> SimulationStats:
         controller = column.controller
         columns.append(ColumnStats(
             index=index,
-            frequency_mhz=chip.config.column_frequency_mhz(index),
+            # The live clock tree, not the startup config: under
+            # runtime DVFS the two diverge and the stats should report
+            # the final operating point (epoch records carry history).
+            frequency_mhz=chip.clock.frequency_mhz(index),
             tile_cycles=column.tile_cycles,
             issued=controller.issued,
             bubbles=controller.bubbles,

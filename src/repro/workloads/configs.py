@@ -113,6 +113,7 @@ def ddc_config() -> ApplicationConfig:
         kernels={
             "Digital Mixer": "mixer-stream",
             "CIC Integrator": "cic-integrator-chain",
+            "CIC Comb": "cic-comb-scatter",
             "CFIR": "fir-8tap",
             "PFIR": "fir-8tap",
         },

@@ -31,6 +31,7 @@ from repro.power.measured import (
 from repro.kernels import (
     build_acs_kernel,
     build_cic_chain_kernel,
+    build_cic_comb_kernel,
     build_dct_kernel,
     build_fir_kernel,
     build_mixer_kernel,
@@ -48,6 +49,7 @@ KERNEL_BUILDERS = {
     "complex-mixer": build_mixer_kernel,
     "mixer-stream": build_mixer_stream_kernel,
     "cic-integrator-chain": build_cic_chain_kernel,
+    "cic-comb-scatter": build_cic_comb_kernel,
     "viterbi-acs-butterfly": build_acs_kernel,
     "dct-8point-q14": build_dct_kernel,
 }
@@ -266,6 +268,7 @@ def measured_kernel_table() -> dict:
         build_mixer_kernel,
         build_mixer_stream_kernel,
         build_cic_chain_kernel,
+        build_cic_comb_kernel,
         build_acs_kernel,
         build_dct_kernel,
     )

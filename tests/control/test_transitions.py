@@ -1,0 +1,72 @@
+"""Transition model: legality, relock latency, rail energy."""
+
+import pytest
+
+from repro.arch.clocking import ClockTree
+from repro.control.transitions import TransitionModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return TransitionModel(relock_us=0.1)
+
+
+def test_relock_scales_with_reference_clock(model):
+    assert model.relock_ticks(100.0) == 10
+    assert model.relock_ticks(512.0) == 52  # ceil(51.2)
+    assert TransitionModel(relock_us=0.0).relock_ticks(512.0) == 0
+
+
+def test_voltage_comes_from_the_shared_rail_set(model):
+    # 512 MHz needs the 1.5 V rail; 64 MHz runs at the 0.7 V floor
+    assert model.voltage_for(512.0, 1) == pytest.approx(1.5)
+    assert model.voltage_for(512.0, 8) == pytest.approx(0.7)
+
+
+def test_rail_energy_is_symmetric_and_zero_on_same_rail(model):
+    up = model.transition_energy_nj(0.7, 1.5, n_tiles=4)
+    down = model.transition_energy_nj(1.5, 0.7, n_tiles=4)
+    assert up == pytest.approx(down)
+    assert up > 0
+    assert model.transition_energy_nj(1.1, 1.1, 4) == 0.0
+    # energy follows 1/2 C |V2^2 - V1^2| with C = 50 x 0.1 nF per tile
+    expected = 0.5 * 5.0 * 4 * abs(1.5 ** 2 - 0.7 ** 2)
+    assert up == pytest.approx(expected)
+
+
+def test_commits_only_at_hyperperiod_boundaries(model):
+    clock = ClockTree(512.0, [2, 8])  # hyperperiod 8
+    model.check_legal(0, clock)
+    model.check_legal(8, clock)
+    model.check_legal(1024, clock)
+    with pytest.raises(ConfigurationError, match="hyperperiod"):
+        model.check_legal(3, clock)
+    with pytest.raises(ConfigurationError, match="hyperperiod"):
+        model.plan(12, clock, [2, 4])
+
+
+def test_plan_prices_only_changed_columns(model):
+    clock = ClockTree(512.0, [2, 4, 8])
+    records = model.plan(8, clock, [2, 2, 4], tiles_per_column=4)
+    assert [r.column for r in records] == [1, 2]
+    by_column = {r.column: r for r in records}
+    assert by_column[1].from_divider == 4
+    assert by_column[1].to_divider == 2
+    # 128 MHz (0.8 V) -> 256 MHz (1.1 V): a real rail move
+    assert by_column[1].from_voltage_v == pytest.approx(0.8)
+    assert by_column[1].to_voltage_v == pytest.approx(1.1)
+    assert by_column[1].energy_nj > 0
+    assert by_column[1].relock_ticks == model.relock_ticks(512.0)
+
+
+def test_plan_rejects_wrong_width(model):
+    clock = ClockTree(512.0, [2, 4])
+    with pytest.raises(ConfigurationError, match="columns"):
+        model.plan(0, clock, [2, 4, 8])
+
+
+def test_rejects_unreachable_operating_points(model):
+    clock = ClockTree(800.0, [2])
+    with pytest.raises(ConfigurationError):
+        model.plan(0, clock, [1])  # 800 MHz exceeds every rail

@@ -105,7 +105,12 @@ def test_bench_payload_shape(evaluations):
     assert "CIC Integrator" in names
     sources = {c["name"]: c["source"] for c in ddc["components"]}
     assert sources["CIC Integrator"] == "measured"
-    assert sources["CIC Comb"] == "analytical"
+    assert sources["CIC Comb"] == "measured"  # gather/scatter kernel
+    wlan = payload["applications"]["wlan"]
+    wlan_sources = {
+        c["name"]: c["source"] for c in wlan["components"]
+    }
+    assert wlan_sources["FFT"] == "analytical"  # still no kernel
     energy = ddc["energy"]
     assert energy["ledger_total_nj"] == pytest.approx(
         energy["power_times_time_nj"], rel=1e-9

@@ -254,11 +254,58 @@ def test_manual_stepping_then_run():
 
 
 # ----------------------------------------------------------------------
+# bounded windows (the epoch primitive)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("window", [1, 7, 64, 1000])
+def test_advance_matches_reference_stepping(window):
+    """advance(n) is bit-identical to n reference ticks on any chip."""
+    reference = build_ddc_front_end()
+    compiled = build_ddc_front_end()
+    ref_engine = ReferenceEngine(reference)
+    cmp_engine = CompiledEngine(compiled)
+    while True:
+        consumed_ref = ref_engine.advance(window)
+        consumed_cmp = cmp_engine.advance(window)
+        assert consumed_cmp == consumed_ref
+        from repro.sim.stats import collect
+        assert collect(compiled) == collect(reference)
+        if consumed_ref < window:
+            break
+    assert reference.all_halted and compiled.all_halted
+
+
+def test_advance_stops_at_the_halt_observation_tick():
+    chip = build_mixed_divider_chip()
+    halted = Simulator(build_mixed_divider_chip(),
+                       engine="reference").run()
+    engine = CompiledEngine(chip)
+    consumed = engine.advance(10_000_000)
+    # run() drains two hyperperiods past the halt observation tick.
+    drain = 2 * chip.clock.hyperperiod()
+    assert consumed == halted.reference_ticks - drain
+    assert engine.advance(100) == 0  # already halted: consumes nothing
+
+
+def test_advance_with_observers_stays_tick_accurate():
+    tracer_ref, tracer_cmp = Tracer(), Tracer()
+    ref_chip = build_mixed_divider_chip()
+    cmp_chip = build_mixed_divider_chip()
+    ReferenceEngine(ref_chip, observers=(tracer_ref,)).advance(50)
+    CompiledEngine(cmp_chip, observers=(tracer_cmp,)).advance(50)
+    assert tracer_cmp.events == tracer_ref.events
+    assert tracer_cmp.events  # the window really was observed
+
+
+# ----------------------------------------------------------------------
 # factory / facade
 # ----------------------------------------------------------------------
 def test_create_engine_rejects_unknown_name():
-    with pytest.raises(SimulationError, match="unknown engine"):
+    """Unknown engine names are a configuration mistake, not a
+    simulation failure - callers can catch them separately."""
+    with pytest.raises(ConfigurationError, match="unknown engine"):
         create_engine("warp", build_mixed_divider_chip())
+    with pytest.raises(ConfigurationError, match="available"):
+        Simulator(build_mixed_divider_chip(), engine="warp")
 
 
 def test_auto_engine_defaults_to_compiled():

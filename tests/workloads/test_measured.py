@@ -18,8 +18,8 @@ def table():
 def test_table_covers_all_kernels(table):
     assert set(table) == {
         "fir-8tap", "complex-mixer", "mixer-stream",
-        "cic-integrator-chain", "viterbi-acs-butterfly",
-        "dct-8point-q14",
+        "cic-integrator-chain", "cic-comb-scatter",
+        "viterbi-acs-butterfly", "dct-8point-q14",
     }
     for entry in table.values():
         assert entry["cycles_per_sample"] > 0
@@ -105,13 +105,18 @@ def test_measured_application_mixes_sources():
     app = measured_application("ddc")
     by_name = {c.name: c for c in app.components}
     assert by_name["CIC Integrator"].measured
-    assert not by_name["CIC Comb"].measured  # analytical fallback
-    # the fallback keeps the calibrated profile verbatim
-    assert by_name["CIC Comb"].spec == by_name["CIC Comb"].analytical
+    # the comb's gather/scatter kernel closed the last analytical gap
+    assert by_name["CIC Comb"].measured
     # measured specs keep the Table 4 operating point
     assert by_name["CIC Integrator"].spec.frequency_mhz == 200.0
     assert by_name["CIC Integrator"].spec.n_tiles == 8
-    assert 0.0 < app.measured_fraction < 1.0
+    assert app.measured_fraction == 1.0
+    # components with no kernel equivalent still fall back verbatim
+    wlan = measured_application("wlan")
+    by_name = {c.name: c for c in wlan.components}
+    assert not by_name["FFT"].measured
+    assert by_name["FFT"].spec == by_name["FFT"].analytical
+    assert 0.0 < wlan.measured_fraction < 1.0
 
 
 def test_measured_mixer_matches_calibration():
