@@ -22,6 +22,8 @@ class CommBuffer:
             raise ValueError("capacity must be at least 1")
         self.name = name
         self.capacity = capacity
+        # The backing deque is bound by compiled DOU transfer plans
+        # (repro.arch.dou_exec); it must never be reassigned.
         self._words: deque = deque()
         self.total_pushed = 0
         self.total_popped = 0

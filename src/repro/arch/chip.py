@@ -19,6 +19,7 @@ from repro.arch.dou import Dou, DouProgram
 from repro.arch.rate_match import ZormCounter
 from repro.arch.simd import SimdController
 from repro.arch.tile import Tile
+from repro.isa.instructions import Opcode
 from repro.isa.program import Program
 
 #: Bus position of the column's horizontal port (after the four tiles).
@@ -82,6 +83,10 @@ class Column:
         self.port_position = n_tiles
         self.comm_stalls = 0
         self.tile_cycles = 0
+        # active_tiles() sits on the issue hot path; the tile list is
+        # fixed at construction, so the selection per SIMD mask is
+        # cached instead of being rebuilt every issued instruction.
+        self._active_tiles_cache: dict = {}
 
     @property
     def halted(self) -> bool:
@@ -89,9 +94,37 @@ class Column:
         return self.controller.halted
 
     def active_tiles(self) -> list:
-        """Tiles enabled by the current SIMD mask."""
-        mask = self.controller.active_mask
-        return [t for i, t in enumerate(self.tiles) if (mask >> i) & 1]
+        """Tiles enabled by the current SIMD mask (cached per mask).
+
+        The returned list is shared between calls - callers must not
+        mutate it.
+        """
+        mask = self.controller.mask
+        tiles = self._active_tiles_cache.get(mask)
+        if tiles is None:
+            tiles = [
+                t for i, t in enumerate(self.tiles) if (mask >> i) & 1
+            ]
+            self._active_tiles_cache[mask] = tiles
+        return tiles
+
+    def blocked_on_recv(self) -> bool:
+        """Whether the next tile-clock edges are certain RECV stalls.
+
+        True when the already-fetched pending instruction is a RECV
+        and some enabled tile's read buffer is empty: the column
+        cannot issue until a DOU capture lands, and every edge until
+        then costs exactly one ``comm_stalls`` tile cycle.  A compiled
+        engine that can prove no capture will land for a span may
+        therefore account those stall edges arithmetically.
+        """
+        pending = self.controller._pending
+        if pending is None or pending.opcode is not Opcode.RECV:
+            return False
+        for tile in self.active_tiles():
+            if tile.read_buffer.is_empty:
+                return True
+        return False
 
     def step_tile_clock(self) -> str:
         """Advance the column by one tile clock; returns the outcome."""
@@ -100,9 +133,14 @@ class Column:
         if instr is None:
             return BUBBLE
         active = self.active_tiles()
-        if not all(t.can_execute(instr) for t in active):
-            self.comm_stalls += 1
-            return STALLED
+        op = instr.opcode
+        if op is Opcode.RECV or op is Opcode.SEND:
+            # Only communication instructions can block on a buffer;
+            # every other opcode issues unconditionally.
+            for tile in active:
+                if not tile.can_execute(instr):
+                    self.comm_stalls += 1
+                    return STALLED
         self.controller.commit()
         for tile in active:
             tile.execute(instr)
@@ -215,13 +253,16 @@ class Chip:
         stepping loop.
         """
         tick = self.reference_ticks
-        for column in self.columns:
-            column.step_bus_clock()
-        if self.horizontal_dou is not None:
-            self.horizontal_dou.step()
-        for index, column in enumerate(self.columns):
-            if self.clock.ticks(index, tick) \
-                    and tick >= self.clock_gate_until[index]:
+        columns = self.columns
+        for column in columns:
+            column.dou.step()
+        horizontal = self.horizontal_dou
+        if horizontal is not None:
+            horizontal.step()
+        dividers = self.clock.dividers
+        gates = self.clock_gate_until
+        for index, column in enumerate(columns):
+            if tick % dividers[index] == 0 and tick >= gates[index]:
                 if observers:
                     pc = column.controller.pc
                     outcome = column.step_tile_clock()
@@ -229,7 +270,7 @@ class Chip:
                         observer.record(tick, index, outcome, pc)
                 else:
                     column.step_tile_clock()
-        self.reference_ticks += 1
+        self.reference_ticks = tick + 1
 
     # ------------------------------------------------------------------
     # external I/O (the IN DATA / OUT DATA arrows of Figure 1)

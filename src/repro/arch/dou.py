@@ -17,8 +17,10 @@ statically scheduled cycles, consumers RECV from their read buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.arch.dou_exec import compile_state_plans
 
 MAX_STATES = 128
 MAX_COUNTERS = 4
@@ -95,26 +97,67 @@ class DouProgram:
         """A DOU that never moves data (compute-only columns)."""
         return cls(states=(DouState(),), name="idle")
 
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields (not cached properties).
+
+        Keeps the byte representation - and therefore the content
+        hashes of ``repro.sim.batch`` - independent of whether the
+        quiescence analysis has run on this instance yet.
+        """
+        state = self.__dict__
+        return {
+            name: state[name]
+            for name in ("states", "counter_initial", "name")
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    @cached_property
+    def quiescent_states(self) -> frozenset:
+        """State indexes whose forward closure can never move a word.
+
+        A state is *quiescent* when it neither drives nor captures and
+        every state it can actually reach is quiescent too (a state
+        testing no counter only ever follows ``next_otherwise``, so
+        its ``next_if_zero`` edge does not count).  The quiescent set
+        is closed under execution by construction: once a DOU's state
+        pointer enters it, no future cycle can move a word, block, or
+        touch the bus - which is what lets an engine demote the
+        machine to arithmetic cycle accounting with re-promotion
+        impossible.  Cached on the (frozen) program.
+        """
+        quiescent = [
+            not (state.drives or state.captures)
+            for state in self.states
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for index, state in enumerate(self.states):
+                if not quiescent[index]:
+                    continue
+                successors = (
+                    (state.next_otherwise,) if state.counter is None
+                    else (state.next_if_zero, state.next_otherwise)
+                )
+                if not all(quiescent[nxt] for nxt in successors):
+                    quiescent[index] = False
+                    changed = True
+        return frozenset(
+            index for index, quiet in enumerate(quiescent) if quiet
+        )
+
     def is_inert(self) -> bool:
         """Whether no reachable state can ever move a word.
 
-        Walks every state reachable from the reset state through
-        either transition edge.  An inert program's execution is
-        invisible to simulation statistics (no drives, no captures, so
-        no retired words and no blocked cycles), which lets a compiled
-        engine skip stepping it entirely.
+        Equivalent to the reset state being quiescent: an inert
+        program's execution is invisible to simulation statistics (no
+        drives, no captures, so no retired words and no blocked
+        cycles), which lets a compiled engine skip stepping it
+        entirely.
         """
-        seen = {0}
-        frontier = [0]
-        while frontier:
-            state = self.states[frontier.pop()]
-            if state.drives or state.captures:
-                return False
-            for nxt in (state.next_if_zero, state.next_otherwise):
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return True
+        return 0 in self.quiescent_states
 
 
 @dataclass(frozen=True)
@@ -202,6 +245,11 @@ class Dou:
         self.strict = strict
         self.state_index = 0
         self.counters = list(program.counter_initial)
+        # Bind-time compilation (repro.arch.dou_exec): one plan per
+        # state, None where only the generic interpreter is correct.
+        self._plans = compile_state_plans(
+            program, bus, write_ports, read_ports, strict
+        )
         self.words_moved = 0     # successful captures (broadcast = N)
         self.words_retired = 0   # retired drives (broadcast = 1)
         self.span_words = 0.0    # sum of per-retire bus-span fractions
@@ -214,19 +262,60 @@ class Dou:
         return self.program.states[self.state_index]
 
     def fast_forward(self, n_cycles: int) -> None:
-        """Account ``n_cycles`` skipped cycles of an inert program.
+        """Account ``n_cycles`` skipped cycles of a quiescent machine.
 
-        Only valid when :meth:`DouProgram.is_inert` holds: no reachable
-        state moves a word, so skipping leaves every statistic except
-        the cycle count untouched (the state pointer is deliberately
-        not advanced - it can never reach a transferring state).
+        Only valid while the current state lies in
+        :attr:`DouProgram.quiescent_states` - inert programs always
+        qualify, and a live program qualifies once it has parked in a
+        closed orbit of non-transferring states (e.g. the idle park of
+        ``linear_schedule(repeat=k)``).  Skipping then leaves every
+        statistic except the cycle count untouched; the state pointer
+        and counters are deliberately frozen - nothing observable can
+        depend on them again, since the orbit is closed.
         """
-        if not self.program.is_inert():
+        if self.state_index not in self.program.quiescent_states:
             raise SimulationError(
-                f"{self.program.name}: fast_forward on a DOU that "
-                f"moves data"
+                f"{self.program.name}: fast_forward in state "
+                f"{self.state_index}, which can still move data"
             )
         self.cycles += n_cycles
+
+    def is_quiescent(self) -> bool:
+        """Whether the machine has entered a closed transfer-free orbit.
+
+        Monotonic: once true it stays true forever (the quiescent set
+        is closed under execution), so an engine may demote this DOU
+        to :meth:`fast_forward` accounting without ever re-checking.
+        """
+        return self.state_index in self.program.quiescent_states
+
+    def starved_self_loop(self) -> bool:
+        """Whether the current cycle is a pure repeatable stall.
+
+        True when the state is a permissive self-loop whose every
+        source buffer is empty: stepping would only increment
+        ``cycles`` and ``blocked_cycles``, and would leave the state
+        pointer, the counters, and every buffer untouched - so as long
+        as no external agent pushes a word, the next cycle is
+        identical and a run of them may be settled arithmetically via
+        :meth:`fast_stall`.
+        """
+        plan = self._plans[self.state_index]
+        if plan is None or not plan.stall_batchable:
+            return False
+        for words in plan.sources:
+            if words:
+                return False
+        return True
+
+    def fast_stall(self, n_cycles: int) -> None:
+        """Account ``n_cycles`` consecutive starved self-loop cycles.
+
+        Callers must hold :meth:`starved_self_loop` and guarantee no
+        source buffer is pushed during the batched span.
+        """
+        self.cycles += n_cycles
+        self.blocked_cycles += n_cycles
 
     def _advance(self) -> None:
         state = self.state
@@ -243,7 +332,80 @@ class Dou:
             self.state_index = state.next_otherwise
 
     def step(self) -> int:
-        """Run one bus cycle; returns the number of words delivered."""
+        """Run one bus cycle; returns the number of words delivered.
+
+        Dispatches to the compiled per-state plan when one exists and
+        its occupancy preconditions hold (the steady state of a static
+        schedule); anything else - blocked transfers, partial
+        starvation, strict-mode errors, statically ineligible states -
+        falls through to the generic interpreter, keeping every
+        counter byte-for-byte identical to the uncompiled machine.
+        """
+        plan = self._plans[self.state_index]
+        if plan is None:
+            return self._step_generic()
+        for words in plan.sources:
+            if not words:
+                if not plan.starve_ok:
+                    return self._step_generic()
+                for other in plan.sources:
+                    if other:  # partial starvation: interpreter
+                        return self._step_generic()
+                # Every source empty: one pure stall cycle.
+                self.cycles += 1
+                self.blocked_cycles += 1
+                counter = plan.counter
+                if counter is None:
+                    self.state_index = plan.next_otherwise
+                else:
+                    self._advance_compiled(plan, counter)
+                return 0
+        for words, room in plan.room_checks:
+            if len(words) > room:
+                return self._step_generic()
+        # Steady state: the full transfer, as a tuple walk.  Captures
+        # push before drives pop, mirroring the interpreter's order.
+        self.cycles += 1
+        for dest_words, dest_buffer, src_words in plan.captures:
+            dest_words.append(src_words[0])
+            dest_buffer.total_pushed += 1
+        for src_words, src_buffer in plan.drains:
+            src_words.popleft()
+            src_buffer.total_popped += 1
+        n_drives = plan.n_drives
+        if n_drives:
+            self.words_retired += n_drives
+            # One addition per retired drive, in drive order, exactly
+            # like the interpreter - float accumulation is order
+            # sensitive and the stats must stay bit-identical.
+            span = self.span_words
+            for value in plan.spans:
+                span += value
+            self.span_words = span
+            bus = self.bus
+            bus.words_moved += n_drives
+            bus.cycles_with_traffic += 1
+        moved = plan.n_captures
+        self.words_moved += moved
+        counter = plan.counter
+        if counter is None:
+            self.state_index = plan.next_otherwise
+        else:
+            self._advance_compiled(plan, counter)
+        return moved
+
+    def _advance_compiled(self, plan, counter: int) -> None:
+        """Counter-testing transition of the compiled fast path."""
+        counters = self.counters
+        if counters[counter] == 0:
+            counters[counter] = plan.counter_reset
+            self.state_index = plan.next_if_zero
+        else:
+            counters[counter] -= 1
+            self.state_index = plan.next_otherwise
+
+    def _step_generic(self) -> int:
+        """The reference interpreter for one bus cycle."""
         self.cycles += 1
         state = self.state
         self.bus.configure(state.closed)

@@ -1,0 +1,194 @@
+"""Bind-time compilation of DOU states into transfer plans.
+
+The DOU's per-cycle work (Section 2.3) is statically scheduled: a
+state's switch settings, and therefore its segment topology, its
+source/destination buffers, and the bus-span fraction every retired
+word charges, are all fixed the moment a :class:`~repro.arch.dou.Dou`
+is bound to a bus and its buffer ports.  Only buffer *occupancy* is
+dynamic.  This module precomputes everything occupancy-independent
+once per state, so the steady-state fast path of ``Dou.step`` is a
+tuple walk - no dict lookups, no list construction, no
+``bus.configure``/``segment_of``/``span_of_transfer`` recomputation.
+
+A state compiles to a :class:`StatePlan` only when its static shape
+guarantees the generic interpreter would take the unexceptional path
+whenever the plan's occupancy preconditions hold:
+
+* every ``closed`` switch is in range for the bus;
+* every drive and capture position has a bound port;
+* no two drives share one electrical segment (the structural hazard
+  of Section 4.1 step 5 would raise);
+* every capture's segment is driven and every drive is captured at
+  least once (otherwise strict mode raises / permissive mode takes
+  the partial-delivery path);
+* no write buffer is popped twice in one cycle.
+
+States failing any test keep ``None`` and always run the generic
+interpreter, which preserves their error behavior exactly.  Eligible
+states still fall back to the interpreter whenever a precondition
+fails at run time (some-but-not-all sources empty, destination
+nearly full, strict-mode underflow/overflow), so blocked and error
+cases stay byte-for-byte identical to the uncompiled machine.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StatePlan", "compile_state_plans"]
+
+
+class StatePlan:
+    """The occupancy-independent residue of one :class:`DouState`.
+
+    Buffer references are bound down to the backing deques so the hot
+    path touches no properties: ``sources`` gates the fast path (every
+    deque non-empty), ``room_checks`` guards capacity (aggregated per
+    destination buffer, so double captures into one buffer are
+    counted), ``captures``/``drains`` perform the word movement in the
+    generic interpreter's push-then-pop order.
+    """
+
+    __slots__ = (
+        "sources", "drains", "room_checks", "captures",
+        "n_drives", "n_captures", "spans", "starve_ok",
+        "stall_batchable", "counter", "counter_reset",
+        "next_if_zero", "next_otherwise",
+    )
+
+    def __init__(
+        self, sources, drains, room_checks, captures, n_drives,
+        n_captures, spans, starve_ok, stall_batchable, counter,
+        counter_reset, next_if_zero, next_otherwise,
+    ) -> None:
+        self.sources = sources
+        self.drains = drains
+        self.room_checks = room_checks
+        self.captures = captures
+        self.n_drives = n_drives
+        self.n_captures = n_captures
+        self.spans = spans
+        self.starve_ok = starve_ok
+        self.stall_batchable = stall_batchable
+        self.counter = counter
+        self.counter_reset = counter_reset
+        self.next_if_zero = next_if_zero
+        self.next_otherwise = next_otherwise
+
+
+def _segment_of(closed: frozenset, split: int, position: int) -> int:
+    """``SegmentedBus.segment_of`` replayed on a static switch set."""
+    start = position
+    while start > 0 and (split, start - 1) in closed:
+        start -= 1
+    return start
+
+
+def _compile_state(
+    index: int, state, program, bus, write_ports, read_ports,
+    strict: bool,
+):
+    for split, boundary in state.closed:
+        if not 0 <= split < bus.n_splits:
+            return None
+        if not 0 <= boundary < bus.n_boundaries:
+            return None
+    for position, _ in tuple(state.drives) + tuple(state.captures):
+        if not 0 <= position < bus.n_positions:
+            return None
+
+    closed = state.closed
+    # (split, segment) -> drive index; the fast path requires the
+    # mapping to be one-to-one both ways.
+    drive_of_segment: dict = {}
+    source_buffers = []
+    seen_sources = set()
+    for position, split in state.drives:
+        buffer = write_ports.get(position)
+        if buffer is None:
+            return None
+        if id(buffer) in seen_sources:
+            # Two drives popping one buffer in a single cycle need the
+            # interpreter's sequential underflow semantics.
+            return None
+        seen_sources.add(id(buffer))
+        key = (split, _segment_of(closed, split, position))
+        if key in drive_of_segment:
+            return None  # structural hazard: interpreter raises
+        drive_of_segment[key] = len(source_buffers)
+        source_buffers.append((position, buffer))
+
+    captures = []
+    room_needed: dict = {}
+    drive_destinations: dict = {}
+    for position, split in state.captures:
+        buffer = read_ports.get(position)
+        if buffer is None:
+            return None
+        key = (split, _segment_of(closed, split, position))
+        drive_index = drive_of_segment.get(key)
+        if drive_index is None:
+            return None  # undriven capture: strict raises, permissive skips
+        src_position, src_buffer = source_buffers[drive_index]
+        captures.append((buffer._words, buffer, src_buffer._words))
+        room_needed[id(buffer)] = (
+            buffer, room_needed.get(id(buffer), (buffer, 0))[1] + 1
+        )
+        drive_destinations.setdefault(drive_index, []).append(position)
+
+    if len(drive_destinations) != len(source_buffers):
+        return None  # some drive never retires: interpreter's business
+
+    # Per-drive span values in drive order: the fast path accumulates
+    # them with the same one-addition-per-retire sequence the
+    # interpreter uses, so the float result is bit-identical.
+    spans = tuple(
+        (
+            max(
+                abs(dst - source_buffers[drive_index][0])
+                for dst in drive_destinations[drive_index]
+            ) + 1
+        ) / bus.n_positions
+        for drive_index in range(len(source_buffers))
+    )
+
+    starve_ok = (not strict) and bool(state.drives)
+    return StatePlan(
+        sources=tuple(b._words for _, b in source_buffers),
+        drains=tuple((b._words, b) for _, b in source_buffers),
+        room_checks=tuple(
+            (buffer._words, buffer.capacity - count)
+            for buffer, count in room_needed.values()
+        ),
+        captures=tuple(captures),
+        n_drives=len(source_buffers),
+        n_captures=len(captures),
+        spans=spans,
+        starve_ok=starve_ok,
+        # A starved permissive self-loop repeats one pure stall cycle:
+        # engines may batch those arithmetically (state, counters, and
+        # buffers provably cannot change until an external push).
+        stall_batchable=(
+            starve_ok
+            and state.counter is None
+            and state.next_otherwise == index
+        ),
+        counter=state.counter,
+        counter_reset=(
+            program.counter_initial[state.counter]
+            if state.counter is not None else 0
+        ),
+        next_if_zero=state.next_if_zero,
+        next_otherwise=state.next_otherwise,
+    )
+
+
+def compile_state_plans(
+    program, bus, write_ports, read_ports, strict: bool
+) -> tuple:
+    """Per-state plans for one bound DOU (``None`` = interpret)."""
+    return tuple(
+        _compile_state(
+            index, state, program, bus, write_ports, read_ports,
+            strict,
+        )
+        for index, state in enumerate(program.states)
+    )

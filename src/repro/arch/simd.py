@@ -39,6 +39,10 @@ class SimdController:
         name: str = "column",
     ) -> None:
         self.program = program
+        # The program is immutable for the controller's lifetime; its
+        # length and instruction list are hoisted off the fetch path.
+        self._program_len = len(program)
+        self._instructions = program.instructions
         self.condition_source = condition_source
         self.zorm = zorm or ZormCounter()
         self.name = name
@@ -128,13 +132,15 @@ class SimdController:
             self.bubbles += 1
             return None
         # Resolve zero-cost control until a compute instruction appears.
-        budget = len(self.program) + 1
+        program_len = self._program_len
+        instructions = self._instructions
+        budget = program_len + 1
         while True:
-            if self.pc >= len(self.program):
+            if self.pc >= program_len:
                 self.halted = True
                 self.bubbles += 1
                 return None
-            instr = self.program[self.pc]
+            instr = instructions[self.pc]
             if not instr.is_control:
                 self._pending = instr
                 return instr

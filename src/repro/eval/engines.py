@@ -1,0 +1,302 @@
+"""Engine performance trajectory: reference vs compiled wall clock.
+
+``python -m repro.eval.runner --engines`` times every benchmark
+workload under the tick-accurate :class:`~repro.sim.engine.ReferenceEngine`
+and the hyperperiod-compiled :class:`~repro.sim.engine.CompiledEngine`,
+asserts their :class:`~repro.sim.stats.SimulationStats` are
+bit-identical (the engine layer's standing contract) and emits the
+``BENCH_engine.json`` artifact recording per-workload wall clocks and
+speedup ratios - so the perf trajectory of the compiled fabric is
+measured on every run instead of living in commit messages.
+
+The workload set brackets the engine's operating range:
+
+* ``fir`` - single column, divider 1, no DOU schedule (the floor: the
+  compiled engine has nothing to stride over);
+* ``wlan_acs`` - the Viterbi add-compare-select kernel with its
+  neighbour-exchange DOU schedule (dense mode, strict schedules);
+* ``mixed_dividers`` - compute-only columns at 8/16/32 off one
+  reference (sparse mode, the hyperperiod jump table's home turf);
+* ``ddc_pipeline`` - the Section 2 DDC front-end at paper-realistic
+  column rates (24/40 MHz off 600 MHz): live compiled DOU schedules
+  on both vertical buses and the horizontal bus (dense mode with
+  stall batching and RECV-parked column batching);
+* ``governed_burst`` - a bursty WLAN MCS scenario under the
+  occupancy-PI governor (epoch windows, retunes, plan-cache reuse).
+
+Wall-clock ratios are *recorded*, never asserted - the hard speedup
+bars live in ``benchmarks/test_engine_speedup.py`` where they can be
+skipped on noisy CI runners; the statistics equality assertions here
+always run (``BENCH_SMOKE=1`` only shrinks the workload sizes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.arch.chip import Chip, PORT_POSITION
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.arch.dou_compiler import Transfer, compile_schedule
+from repro.isa.assembler import assemble
+from repro.sim.simulator import Simulator
+
+#: Best-of repetitions per (workload, engine) timing.
+REPEATS = 3
+
+ENGINES = ("reference", "compiled")
+
+
+def _smoke() -> bool:
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+# ----------------------------------------------------------------------
+# workload builders
+# ----------------------------------------------------------------------
+def build_ddc_stream_chip(
+    samples: int = 200, dividers: tuple = (25, 15)
+) -> Chip:
+    """The Section 2 DDC front-end with live DOUs on every bus.
+
+    A producer column mixes memory-resident samples and streams them
+    through its vertical bus, the horizontal bus, and the consumer's
+    fan-out schedule into a four-tile integrator.  The default
+    dividers put the columns at 24 and 40 MHz off the 600 MHz
+    reference - the deeply divided operating points the paper's
+    Table 3 applications actually use - while preserving the 5:3 rate
+    ratio of the front-end plan.
+    """
+    producer = assemble(f"""
+        tmask 0x1            ; tile 0 owns the output stream
+        movi p0, 0
+        loop {samples}
+          ld r1, [p0++]
+          lsl r1, r1, 1      ; x2 "mix"
+          send r1
+        endloop
+        halt
+    """, "producer")
+    consumer = assemble(f"""
+        movi r2, 0
+        loop {samples}
+          recv r1
+          add r2, r2, r1     ; running integrator
+        endloop
+        halt
+    """, "consumer")
+    to_port = compile_schedule(
+        [[Transfer(src=0, dsts=(PORT_POSITION,))]], name="to-port"
+    )
+    fan_out = compile_schedule(
+        [[Transfer(src=PORT_POSITION, dsts=(0, 1, 2, 3))]],
+        name="fan-out",
+    )
+    horizontal = compile_schedule(
+        [[Transfer(src=0, dsts=(1,))]], n_positions=2, name="hbus"
+    )
+    config = ChipConfig(
+        reference_mhz=600.0,
+        columns=(ColumnConfig(divider=dividers[0]),
+                 ColumnConfig(divider=dividers[1])),
+        strict_schedules=False,
+    )
+    chip = Chip(config, programs=[producer, consumer],
+                dou_programs=[to_port, fan_out],
+                horizontal_dou=horizontal)
+    chip.columns[0].tiles[0].load_memory(
+        0, [(3 * i + 1) & 0xFFFF for i in range(samples)]
+    )
+    return chip
+
+
+def _spin_program(iterations: int):
+    return assemble(f"""
+        movi r0, 0
+        loop {iterations}
+          addi r0, r0, 1
+        endloop
+        halt
+    """, "spin")
+
+
+def build_mixed_divider_chip(scale: int = 1) -> Chip:
+    """Compute-only columns at dividers 8/16/32, staggered halts."""
+    config = ChipConfig(
+        reference_mhz=800.0,
+        columns=(ColumnConfig(divider=8), ColumnConfig(divider=16),
+                 ColumnConfig(divider=32)),
+    )
+    return Chip(config, programs=[
+        _spin_program(1000 * scale), _spin_program(500 * scale),
+        _spin_program(250 * scale),
+    ])
+
+
+def _run_fir(engine: str):
+    from repro.kernels.base import run_kernel
+    from repro.kernels.fir import build_fir_kernel
+
+    windows = 6 if _smoke() else 24
+    return run_kernel(
+        build_fir_kernel(windows=windows), engine=engine
+    ).stats
+
+
+def _run_wlan_acs(engine: str):
+    from repro.kernels.base import run_kernel
+    from repro.kernels.viterbi_acs import build_acs_kernel
+
+    steps = 8 if _smoke() else 64
+    return run_kernel(
+        build_acs_kernel(steps=steps), engine=engine
+    ).stats
+
+
+def _run_mixed_dividers(engine: str):
+    chip = build_mixed_divider_chip(scale=1)
+    return Simulator(chip, engine=engine).run()
+
+
+def _run_ddc_pipeline(engine: str):
+    samples = 40 if _smoke() else 200
+    chip = build_ddc_stream_chip(samples=samples)
+    return Simulator(chip, engine=engine).run(max_ticks=1_000_000)
+
+
+def _run_governed_burst(engine: str):
+    from repro.workloads.dvfs import run_scenario, wlan_mcs_scenario
+
+    frames = 6 if _smoke() else 16
+    scenario = wlan_mcs_scenario(frames=frames)
+    result = run_scenario(scenario, "occupancy_pi", engine=engine)
+    return result.run.stats
+
+
+#: workload key -> (description, runner(engine) -> SimulationStats)
+WORKLOADS = {
+    "fir": (
+        "FIR kernel, single column, no DOU schedule",
+        _run_fir,
+    ),
+    "wlan_acs": (
+        "Viterbi ACS kernel with neighbour-exchange DOU schedule",
+        _run_wlan_acs,
+    ),
+    "mixed_dividers": (
+        "compute-only columns at dividers 8/16/32 (sparse mode)",
+        _run_mixed_dividers,
+    ),
+    "ddc_pipeline": (
+        "DDC front-end, live DOUs on every bus at 24/40 MHz",
+        _run_ddc_pipeline,
+    ),
+    "governed_burst": (
+        "bursty WLAN MCS scenario under the occupancy-PI governor",
+        _run_governed_burst,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def evaluate_workload(key: str, repeats: int = REPEATS) -> dict:
+    """Time one workload under both engines; assert identical stats.
+
+    Returns ``{engine: best seconds}`` plus the cross-checked stats.
+    """
+    _, runner = WORKLOADS[key]
+    timings = {}
+    stats = {}
+    for engine in ENGINES:
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = runner(engine)
+            best = min(best, time.perf_counter() - start)
+        timings[engine] = best
+        stats[engine] = result
+    if stats["compiled"] != stats["reference"]:
+        raise AssertionError(
+            f"{key}: compiled engine statistics diverge from the "
+            f"reference engine - the bit-identical contract is broken"
+        )
+    return {
+        "timings": timings,
+        "stats": stats["reference"],
+    }
+
+
+def evaluate_all(repeats: int = REPEATS) -> dict:
+    """{workload key: evaluation} for every benchmark workload."""
+    return {
+        key: evaluate_workload(key, repeats=repeats)
+        for key in WORKLOADS
+    }
+
+
+def bench_payload(evaluations: dict | None = None) -> dict:
+    """The ``BENCH_engine.json`` content."""
+    evaluations = evaluations or evaluate_all()
+    workloads = {}
+    for key, evaluation in evaluations.items():
+        reference_s = evaluation["timings"]["reference"]
+        compiled_s = evaluation["timings"]["compiled"]
+        stats = evaluation["stats"]
+        workloads[key] = {
+            "description": WORKLOADS[key][0],
+            "reference_s": round(reference_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(reference_s / compiled_s, 3),
+            "reference_ticks": stats.reference_ticks,
+            "total_bus_words": stats.total_bus_words,
+            "identical_stats": True,
+        }
+    return {
+        "artifact": "BENCH_engine",
+        "description": "Reference vs compiled engine wall clock per "
+                       "workload (bit-identical statistics asserted; "
+                       "ratios recorded for the perf trajectory, "
+                       "asserted only in benchmarks/)",
+        "smoke": _smoke(),
+        "repeats": REPEATS,
+        "workloads": workloads,
+    }
+
+
+def render(evaluations: dict | None = None) -> str:
+    """Human-readable engine comparison table."""
+    evaluations = evaluations or evaluate_all()
+    header = (
+        f"{'workload':<16} {'reference ms':>12} {'compiled ms':>12} "
+        f"{'speedup':>8}  description"
+    )
+    lines = [header, "-" * len(header)]
+    for key, evaluation in evaluations.items():
+        reference_s = evaluation["timings"]["reference"]
+        compiled_s = evaluation["timings"]["compiled"]
+        lines.append(
+            f"{key:<16} {reference_s * 1e3:>12.2f} "
+            f"{compiled_s * 1e3:>12.2f} "
+            f"{reference_s / compiled_s:>7.2f}x  "
+            f"{WORKLOADS[key][0]}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(
+    directory: str | Path = ".",
+    payload: dict | None = None,
+) -> Path:
+    """Write ``BENCH_engine.json`` into ``directory``; returns the path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / "BENCH_engine.json"
+    target.write_text(
+        json.dumps(payload or bench_payload(), indent=2) + "\n"
+    )
+    return target

@@ -22,6 +22,12 @@ energy-ledger conservation audit.
 governors (:mod:`repro.eval.dvfs`), asserts the
 governors-beat-static-at-zero-misses contract, and emits
 ``BENCH_dvfs.json``.  ``BENCH_SMOKE=1`` shortens the traces for CI.
+
+``--engines`` times every benchmark workload under the reference and
+compiled engines (:mod:`repro.eval.engines`), asserts bit-identical
+statistics, and emits ``BENCH_engine.json`` with per-workload wall
+clocks and speedups - the compiled fabric's perf trajectory.
+``BENCH_SMOKE=1`` shrinks the workload sizes for CI.
 """
 
 from __future__ import annotations
@@ -148,7 +154,33 @@ def main(argv: list | None = None) -> None:
              "assert the energy-vs-deadline contract, and emit "
              "BENCH_dvfs.json",
     )
+    parser.add_argument(
+        "--engines", action="store_true",
+        help="time every benchmark workload under the reference and "
+             "compiled engines, assert bit-identical statistics, and "
+             "emit BENCH_engine.json",
+    )
     args = parser.parse_args(argv)
+    if args.engines:
+        from repro.eval import engines
+
+        if args.experiments:
+            parser.error("--engines runs its own workloads; drop "
+                         "--experiment")
+        if args.measured or args.dvfs:
+            parser.error("--engines, --measured, and --dvfs are "
+                         "separate evaluations; run them one at a "
+                         "time")
+        if args.jobs != 1:
+            parser.error("--engines times workloads sequentially so "
+                         "wall clocks are comparable; --jobs does "
+                         "not apply")
+        evaluations = engines.evaluate_all()
+        payload = engines.bench_payload(evaluations)
+        print(engines.render(evaluations))
+        target = engines.write_bench(args.output or ".", payload)
+        print(f"wrote {target}")
+        return
     if args.dvfs:
         from repro.eval import dvfs
 

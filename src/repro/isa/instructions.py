@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import AssemblyError
 
@@ -113,6 +114,14 @@ _SIGNATURES = {
 }
 
 
+#: Field names pickled by Instruction.__getstate__ (the dataclass
+#: fields, excluding any cached_property values sharing __dict__).
+_SIGNATURE_FIELDS = (
+    "opcode", "dst", "srcs", "imm", "target", "ptr", "offset",
+    "post_increment", "mask",
+)
+
+
 @dataclass(frozen=True)
 class Instruction:
     """One decoded instruction.
@@ -154,12 +163,31 @@ class Instruction:
         if self.opcode is Opcode.LOOP and (self.imm is None or self.imm < 1):
             raise AssemblyError("loop count must be at least 1")
 
-    @property
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields.
+
+        ``cached_property`` values share the instance ``__dict__``;
+        letting them into the pickle stream would make content-hash
+        caches (``repro.sim.batch``) see two byte representations of
+        one instruction depending on what has been executed so far.
+        """
+        names = _SIGNATURE_FIELDS
+        state = self.__dict__
+        return {name: state[name] for name in names}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    @cached_property
     def is_control(self) -> bool:
-        """True when the SIMD controller consumes this instruction."""
+        """True when the SIMD controller consumes this instruction.
+
+        Cached: the check sits on the controller's per-cycle fetch
+        path and the instruction is immutable.
+        """
         return self.opcode in CONTROL_OPCODES
 
-    @property
+    @cached_property
     def is_conditional_branch(self) -> bool:
         """True for the branches that incur the single-cycle stall."""
         return self.opcode in CONDITIONAL_BRANCHES

@@ -77,6 +77,15 @@ def signed40(value: int) -> int:
     return value - (1 << ACCUMULATOR_WIDTH) if value >> (ACCUMULATOR_WIDTH - 1) else value
 
 
+_ACC_SET = frozenset(ACCUMULATORS)
+
+#: Register lookups sit on the innermost simulation loop (one read or
+#: write per operand per issued instruction across four tiles), so the
+#: register file keeps an allocation-free fast path for names that are
+#: already canonical (the assembler emits them uppercase) and only
+#: falls back to ``str.upper`` normalization for hand-written callers.
+
+
 class RegisterFile:
     """All architectural registers of one tile."""
 
@@ -85,6 +94,9 @@ class RegisterFile:
 
     def read(self, name: str) -> int:
         """Unsigned value of a register."""
+        value = self._values.get(name)
+        if value is not None:
+            return value
         name = name.upper()
         if name not in self._values:
             raise SimulationError(f"unknown register {name!r}")
@@ -93,19 +105,21 @@ class RegisterFile:
     def read_signed(self, name: str) -> int:
         """Two's-complement value of a register."""
         raw = self.read(name)
-        if is_accumulator(name):
+        if name in _ACC_SET or is_accumulator(name):
             return signed40(raw)
         return signed32(raw)
 
     def write(self, name: str, value: int) -> None:
         """Write with width-appropriate wrapping."""
-        name = name.upper()
-        if name not in self._values:
-            raise SimulationError(f"unknown register {name!r}")
-        if is_accumulator(name):
-            self._values[name] = wrap40(value)
+        values = self._values
+        if name not in values:
+            name = name.upper()
+            if name not in values:
+                raise SimulationError(f"unknown register {name!r}")
+        if name in _ACC_SET:
+            values[name] = value & _ACC_MASK
         else:
-            self._values[name] = wrap32(value)
+            values[name] = value & _DATA_MASK
 
     def snapshot(self) -> dict:
         """Copy of all register values (for tests and traces)."""

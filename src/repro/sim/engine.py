@@ -158,58 +158,125 @@ class ReferenceEngine(Engine):
         )
 
 
+class _ClockPlan:
+    """One divider tuple's compiled hyperperiod trace.
+
+    ``edges`` keeps column *indexes* per offset (needed wherever
+    PLL-relock gates must be consulted); ``edge_objs`` binds the same
+    table down to :class:`Column` objects for the no-gate hot loop;
+    ``sparse_steps[o]`` is ``(delta, edge_indexes)`` where ``delta``
+    is the distance from offset ``o`` to the next offset carrying any
+    edge (0 when ``o`` itself does) - the precomputed
+    next-active-offset table that replaces the old per-jump linear
+    scan, and doubles as the gap table for starved-DOU stall batching.
+    """
+
+    __slots__ = ("period", "edges", "edge_objs", "sparse_steps")
+
+    def __init__(self, clock, columns) -> None:
+        self.period = clock.hyperperiod()
+        self.edges = clock.edge_schedule()
+        self.edge_objs = tuple(
+            tuple(columns[index] for index in offsets)
+            for offsets in self.edges
+        )
+        active = [
+            offset for offset, offsets in enumerate(self.edges)
+            if offsets
+        ]
+        steps = []
+        for offset in range(self.period):
+            target = next(
+                (a for a in active if a >= offset),
+                self.period + active[0],
+            )
+            steps.append(
+                (target - offset, self.edges[target % self.period])
+            )
+        self.sparse_steps = tuple(steps)
+
+
 class CompiledEngine(Engine):
     """Hyperperiod-compiled stepping: skip what cannot change state.
 
-    At construction the engine classifies every DOU (inert programs
-    can never move a word, so stepping them is invisible to the
-    statistics); the clock tree's edge schedule is compiled lazily,
-    per divider tuple, into a plan cache - runtime retuning through
+    At construction the engine classifies every DOU: machines whose
+    program is inert can never move a word, so they are accounted
+    arithmetically from the start, and the rest are *demotable* - the
+    moment one parks in a closed orbit of non-transferring states
+    (:meth:`~repro.arch.dou.Dou.is_quiescent`, e.g. the idle park of
+    ``linear_schedule(repeat=k)``) it too stops being stepped, with
+    re-promotion impossible by construction.  The clock tree's edge
+    schedule is compiled lazily, per divider tuple, into a plan cache
+    (:class:`_ClockPlan`) - runtime retuning through
     :meth:`~repro.arch.chip.Chip.retune` just selects another plan.
     Two striding modes follow:
 
-    * every DOU inert ("sparse"): only reference ticks carrying at
-      least one live column edge are visited; everything between is
-      jumped over in O(1).
-    * some DOU live ("dense"): every tick steps the live DOUs (they
-      run at the reference rate by definition), but column edges come
-      from the precompiled table and halted columns are never
-      re-entered.
+    * no DOU needs stepping ("sparse"): only reference ticks carrying
+      at least one live column edge are visited, located through the
+      plan's precomputed next-active-offset table in O(1) per jump;
+    * some DOU needs stepping ("dense"): every tick steps those DOUs
+      (they run at the reference rate by definition) through their
+      compiled per-state plans, column edges come from the prebound
+      object table with no per-tick modulo or gate checks in the
+      common case, and edge-free gaps where every stepped DOU sits in
+      a starved self-loop are settled arithmetically.
 
     In both modes a column that has halted stops being stepped; the
     bubbles and tile cycles the reference engine would have accrued on
     its remaining clock edges are reconstructed arithmetically at the
-    end of each window, as is the post-halt bus drain.  PLL-relock
-    gates (``chip.clock_gate_until``) suppress a column's edges the
-    same way the reference stepping loop does.  ``until`` predicates
-    and observers need tick-accurate visibility, so their presence
-    falls back to the shared tick-by-tick loop.
+    end of each window, as are the cycle counts of every non-stepped
+    DOU and the post-halt bus drain.  PLL-relock gates
+    (``chip.clock_gate_until``) suppress a column's edges the same way
+    the reference stepping loop does.  ``until`` predicates and
+    observers need tick-accurate visibility, so their presence falls
+    back to the shared tick-by-tick loop.
     """
 
     name = "compiled"
 
     def __init__(self, chip: Chip, observers: tuple = ()) -> None:
         super().__init__(chip, observers)
-        #: divider tuple -> (hyperperiod, edge table, active offsets)
+        #: divider tuple -> compiled _ClockPlan
         self._plans: dict = {}
-        self._inert = [
-            column.dou.program.is_inert() for column in chip.columns
+        dous = [column.dou for column in chip.columns]
+        if chip.horizontal_dou is not None:
+            dous.append(chip.horizontal_dou)
+        #: every DOU, in the reference loop's stepping order
+        #: (columns ascending, then the horizontal machine).
+        self._all_dous = tuple(dous)
+        #: indexes into _all_dous still stepped tick-by-tick; inert
+        #: programs start demoted, the rest may demote at run time.
+        self._stepped = [
+            index for index, dou in enumerate(dous)
+            if not dou.program.is_inert()
         ]
-        self._horizontal_inert = (
-            chip.horizontal_dou is None
-            or chip.horizontal_dou.program.is_inert()
-        )
-        self._all_inert = all(self._inert) and self._horizontal_inert
-        self._live_dous = [
-            column.dou
-            for index, column in enumerate(chip.columns)
-            if not self._inert[index]
-        ]
-        self._live_horizontal = (
-            None if self._horizontal_inert else chip.horizontal_dou
+        self._refresh_demotable()
+
+    def _refresh_demotable(self) -> None:
+        self._demotable = any(
+            self._all_dous[index].program.quiescent_states
+            for index in self._stepped
         )
 
-    def _plan(self) -> tuple:
+    def _demote_quiescent(self) -> None:
+        """Stop stepping DOUs parked in a closed transfer-free orbit.
+
+        Safe at any tick: a quiescent machine's remaining execution
+        only increments its cycle counter, which the window settlement
+        reconstructs arithmetically.  Demotion is permanent - the
+        orbit is closed, so the machine can never transfer again.
+        """
+        if not self._demotable:
+            return
+        kept = [
+            index for index in self._stepped
+            if not self._all_dous[index].is_quiescent()
+        ]
+        if len(kept) != len(self._stepped):
+            self._stepped = kept
+            self._refresh_demotable()
+
+    def _plan(self) -> _ClockPlan:
         """The compiled activity schedule for the current dividers.
 
         Cached per divider tuple, so an epoch run that revisits an
@@ -218,14 +285,7 @@ class CompiledEngine(Engine):
         key = self.chip.clock.dividers
         plan = self._plans.get(key)
         if plan is None:
-            clock = self.chip.clock
-            period = clock.hyperperiod()
-            edges = clock.edge_schedule()
-            active = tuple(
-                offset for offset, columns in enumerate(edges)
-                if columns
-            )
-            plan = (period, edges, active)
+            plan = _ClockPlan(self.chip.clock, self.chip.columns)
             self._plans[key] = plan
         return plan
 
@@ -256,13 +316,16 @@ class CompiledEngine(Engine):
         # very last tick in budget still exhausts it.
         if end - start >= max_ticks:
             raise _budget_error(max_ticks)
-        period = self._plan()[0]
-        self._drain(drain_hyperperiods * period)
+        self._drain(drain_hyperperiods * self._plan().period)
         return collect(self.chip)
 
     # ------------------------------------------------------------------
     # striding
     # ------------------------------------------------------------------
+    #: Ticks between quiescence re-checks in the dense loop (also the
+    #: minimum, so tiny hyperperiods do not check every tick).
+    DEMOTION_CHECK_TICKS = 64
+
     def _stride_window(self, limit: int) -> int:
         """Advance from the current tick to at most ``limit``.
 
@@ -276,74 +339,173 @@ class CompiledEngine(Engine):
         initial_cycles = [
             column.tile_cycles for column in chip.columns
         ]
-        if self._all_inert:
-            end = self._sparse_until(start, limit)
-        else:
+        dou_cycles = [dou.cycles for dou in self._all_dous]
+        self._demote_quiescent()
+        if self._stepped:
             end = self._dense_until(start, limit)
-        self._settle_window(start, end, initial_cycles)
+        else:
+            end = self._sparse_until(start, limit)
+        self._settle_window(start, end, initial_cycles, dou_cycles)
         chip.reference_ticks = end
         return end
 
     def _sparse_until(self, start: int, limit: int) -> int:
-        """All DOUs inert: jump from live edge to live edge."""
+        """No DOU to step: jump from live edge to live edge."""
         chip = self.chip
         columns = chip.columns
-        gates = list(chip.clock_gate_until)
-        period, edges, active = self._plan()
+        gates = chip.clock_gate_until
+        plan = self._plan()
+        period = plan.period
+        sparse_steps = plan.sparse_steps
+        max_gate = max(gates)
         live = sum(not column.halted for column in columns)
         tick = start
         while live and tick < limit:
-            offset = tick % period
-            base = tick - offset
-            jump = None
-            for candidate in active:
-                if candidate >= offset:
-                    jump = base + candidate
-                    break
-            if jump is None:
-                jump = base + period + active[0]
+            delta, edge_indexes = sparse_steps[tick % period]
+            jump = tick + delta
             if jump >= limit:
                 return limit
-            for index in edges[jump % period]:
-                column = columns[index]
-                if column.halted or jump < gates[index]:
-                    continue
-                column.step_tile_clock()
-                if column.halted:
-                    live -= 1
+            if jump >= max_gate:
+                for index in edge_indexes:
+                    column = columns[index]
+                    if not column.halted:
+                        column.step_tile_clock()
+                        if column.halted:
+                            live -= 1
+            else:
+                for index in edge_indexes:
+                    column = columns[index]
+                    if column.halted or jump < gates[index]:
+                        continue
+                    column.step_tile_clock()
+                    if column.halted:
+                        live -= 1
             tick = jump + 1
         return tick if live == 0 else limit
 
     def _dense_until(self, start: int, limit: int) -> int:
-        """Some DOU moves data: step every tick, skip what is dead."""
+        """Some DOU moves data: walk the compiled hyperperiod trace.
+
+        The loop runs in segments.  A gated or unaligned prefix pays
+        per-tick gate checks; the steady-state segment walks the
+        prebound edge-object table with an incrementing offset (no
+        modulo, no gate test, no halted-edge re-entry after the
+        filtered check) and batches edge-free gaps in which every
+        stepped DOU sits in a starved self-loop.  Segment boundaries
+        double as quiescence-demotion checkpoints; when the last
+        stepped DOU demotes, the window degrades to the sparse jump
+        loop.
+        """
         chip = self.chip
         columns = chip.columns
-        gates = list(chip.clock_gate_until)
-        period, edges, _ = self._plan()
-        live_dous = self._live_dous
-        horizontal = self._live_horizontal
+        gates = chip.clock_gate_until
+        clock = chip.clock
+        dividers = clock.dividers
+        plan = self._plan()
+        period = plan.period
+        edges = plan.edges
+        edge_objs = plan.edge_objs
+        max_gate = max(gates)
+        check_ticks = max(period, self.DEMOTION_CHECK_TICKS)
+        all_dous = self._all_dous
         live = sum(not column.halted for column in columns)
         tick = start
         while live and tick < limit:
-            for dou in live_dous:
-                dou.step()
-            if horizontal is not None:
-                horizontal.step()
-            for index in edges[tick % period]:
-                column = columns[index]
-                if column.halted or tick < gates[index]:
+            if not self._stepped:
+                return self._sparse_until(tick, limit)
+            dous = [all_dous[index] for index in self._stepped]
+            segment_end = (
+                min(limit, tick + check_ticks) if self._demotable
+                else limit
+            )
+            if tick < max_gate:
+                # Relock-gated prefix: tick-accurate gate checks.
+                gate_end = min(segment_end, max_gate)
+                while live and tick < gate_end:
+                    for dou in dous:
+                        dou.step()
+                    for index in edges[tick % period]:
+                        column = columns[index]
+                        if column.halted or tick < gates[index]:
+                            continue
+                        column.step_tile_clock()
+                        if column.halted:
+                            live -= 1
+                    tick += 1
+                continue
+            offset = tick % period
+            while live and tick < segment_end:
+                # When every stepped DOU sits in a starved self-loop,
+                # no buffer can change until a *progressing* column
+                # edge executes: DOU cycles are pure stalls (DOUs step
+                # before columns within a tick, so the edge tick's DOU
+                # cycles are stalls too), and a column blocked on RECV
+                # stays blocked (only a DOU capture could feed it).
+                # The whole span through the next progressing edge
+                # settles in one arithmetic batch.
+                for dou in dous:
+                    if not dou.starved_self_loop():
+                        break
+                else:
+                    jump = segment_end
+                    blocked = 0  # bitmask of RECV-parked columns
+                    for cindex, column in enumerate(columns):
+                        if column.halted:
+                            continue
+                        if column.blocked_on_recv():
+                            blocked |= 1 << cindex
+                            continue
+                        due = tick + (-tick) % dividers[cindex]
+                        if due < jump:
+                            jump = due
+                    if jump < segment_end:
+                        span_end = jump + 1  # edge executes at jump
+                    else:
+                        jump = None  # every live column is parked (or
+                        span_end = segment_end  # the checkpoint cuts in)
+                    stall = span_end - tick
+                    for dou in dous:
+                        dou.fast_stall(stall)
+                    if blocked:
+                        for cindex, column in enumerate(columns):
+                            if blocked >> cindex & 1:
+                                owed = clock.edges_in(
+                                    cindex, tick, span_end
+                                )
+                                if owed:
+                                    column.tile_cycles += owed
+                                    column.comm_stalls += owed
+                    if jump is not None:
+                        for column in edge_objs[jump % period]:
+                            if not (column.halted
+                                    or blocked >> column.index & 1):
+                                column.step_tile_clock()
+                                if column.halted:
+                                    live -= 1
+                    tick = span_end
+                    offset = tick % period
                     continue
-                column.step_tile_clock()
-                if column.halted:
-                    live -= 1
-            tick += 1
+                for dou in dous:
+                    dou.step()
+                for column in edge_objs[offset]:
+                    if not column.halted:
+                        column.step_tile_clock()
+                        if column.halted:
+                            live -= 1
+                tick += 1
+                offset += 1
+                if offset == period:
+                    offset = 0
+            if self._demotable and tick < limit:
+                self._demote_quiescent()
         return tick
 
     # ------------------------------------------------------------------
     # post-window settlement
     # ------------------------------------------------------------------
     def _settle_window(
-        self, start: int, end: int, initial_cycles: list
+        self, start: int, end: int, initial_cycles: list,
+        dou_cycles: list,
     ) -> None:
         """Reconstruct everything the striding skipped in [start, end).
 
@@ -351,9 +513,13 @@ class CompiledEngine(Engine):
         engine would have recorded exactly one bubble tile cycle (the
         controller refuses to fetch past HALT); edges suppressed by a
         PLL-relock gate are skipped by both engines and owe nothing.
-        Inert DOUs have their skipped cycles accounted in closed form.
-        The clock tree is constant within a window (retunes commit
-        only between windows), so ``edges_in`` is exact.
+        Every DOU's cycle counter must advance by exactly the window
+        span (the reference loop steps every machine every tick), so
+        any shortfall - a machine inert from the start, or demoted to
+        quiescence partway through the window - is settled in closed
+        form through :meth:`~repro.arch.dou.Dou.fast_forward`.  The
+        clock tree is constant within a window (retunes commit only
+        between windows), so ``edges_in`` is exact.
         """
         chip = self.chip
         clock = chip.clock
@@ -370,30 +536,36 @@ class CompiledEngine(Engine):
             if owed:
                 column.tile_cycles += owed
                 column.controller.bubbles += owed
-            if self._inert[index]:
-                column.dou.fast_forward(span)
-        if self._horizontal_inert and chip.horizontal_dou is not None:
-            chip.horizontal_dou.fast_forward(span)
+        for index, dou in enumerate(self._all_dous):
+            owed = span - (dou.cycles - dou_cycles[index])
+            if owed:
+                dou.fast_forward(owed)
 
     def _drain(self, ticks: int) -> None:
         """Drain the buses for ``ticks`` after every column halted.
 
         A live DOU may still hold in-flight words at halt time, so the
-        dense drain steps those faithfully; everything else (owed
-        bubble edges, inert DOU cycles) settles arithmetically.
+        dense drain steps those faithfully - but a machine that has
+        already parked in a quiescent orbit (a ``repeat=k`` schedule
+        whose repeats are done) is demoted first and never stepped;
+        its drain cycles, the owed bubble edges, and every other
+        non-stepped DOU settle arithmetically.
         """
         chip = self.chip
         start = chip.reference_ticks
         initial_cycles = [
             column.tile_cycles for column in chip.columns
         ]
-        if not self._all_inert:
+        dou_cycles = [dou.cycles for dou in self._all_dous]
+        self._demote_quiescent()
+        if self._stepped:
+            dous = [self._all_dous[index] for index in self._stepped]
             for _ in range(ticks):
-                for dou in self._live_dous:
+                for dou in dous:
                     dou.step()
-                if self._live_horizontal is not None:
-                    self._live_horizontal.step()
-        self._settle_window(start, start + ticks, initial_cycles)
+        self._settle_window(
+            start, start + ticks, initial_cycles, dou_cycles
+        )
         chip.reference_ticks = start + ticks
 
 

@@ -1,0 +1,83 @@
+"""Engine wall-clock evaluation and the BENCH_engine artifact."""
+
+import json
+
+import pytest
+
+from repro.eval import engines
+from repro.eval.runner import main
+
+
+@pytest.fixture(autouse=True)
+def _smoke(monkeypatch):
+    # Shrink every workload: the eval's assertions (bit-identical
+    # statistics between engines) are size-independent.
+    monkeypatch.setenv("BENCH_SMOKE", "1")
+
+
+def test_evaluate_workload_asserts_identical_stats():
+    evaluation = engines.evaluate_workload("ddc_pipeline", repeats=1)
+    assert evaluation["timings"]["reference"] > 0
+    assert evaluation["timings"]["compiled"] > 0
+    assert evaluation["stats"].total_bus_words > 0
+
+
+def test_bench_payload_shape():
+    evaluations = {
+        key: engines.evaluate_workload(key, repeats=1)
+        for key in ("fir", "ddc_pipeline")
+    }
+    payload = engines.bench_payload(evaluations)
+    assert payload["artifact"] == "BENCH_engine"
+    assert payload["smoke"] is True
+    for key in ("fir", "ddc_pipeline"):
+        workload = payload["workloads"][key]
+        assert workload["identical_stats"] is True
+        assert workload["speedup"] == pytest.approx(
+            workload["reference_s"] / workload["compiled_s"], rel=0.01
+        )
+        assert workload["reference_ticks"] > 0
+
+
+def test_render_lists_every_workload():
+    evaluations = {
+        "fir": engines.evaluate_workload("fir", repeats=1),
+    }
+    text = engines.render(evaluations)
+    assert "fir" in text and "speedup" in text
+
+
+def test_write_bench(tmp_path):
+    evaluations = {
+        "fir": engines.evaluate_workload("fir", repeats=1),
+    }
+    payload = engines.bench_payload(evaluations)
+    target = engines.write_bench(tmp_path, payload)
+    assert target.name == "BENCH_engine.json"
+    assert json.loads(target.read_text())["artifact"] == "BENCH_engine"
+
+
+def test_cli_engines_writes_artifact(tmp_path, capsys):
+    main(["--engines", "--output", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert (tmp_path / "BENCH_engine.json").exists()
+    payload = json.loads((tmp_path / "BENCH_engine.json").read_text())
+    assert set(payload["workloads"]) == set(engines.WORKLOADS)
+
+
+def test_cli_engines_rejects_conflicting_flags(capsys):
+    with pytest.raises(SystemExit):
+        main(["--engines", "--dvfs"])
+    with pytest.raises(SystemExit):
+        main(["--engines", "--experiment", "table1"])
+    with pytest.raises(SystemExit):
+        main(["--engines", "--jobs", "2"])
+
+
+def test_ddc_stream_chip_is_live_and_rate_matched():
+    chip = engines.build_ddc_stream_chip(samples=8)
+    assert chip.clock.ratio(0, 1) == (3, 5)
+    assert not chip.columns[0].dou.program.is_inert()
+    assert not chip.columns[1].dou.program.is_inert()
+    assert chip.horizontal_dou is not None
