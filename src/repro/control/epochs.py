@@ -75,7 +75,17 @@ class GovernedRun:
 def snapshot_telemetry(
     chip, epoch_index: int, extras: dict | None = None
 ) -> Telemetry:
-    """The governor-visible state at one epoch boundary."""
+    """The governor-visible state at one epoch boundary.
+
+    Reads only cheap, architecturally real signals: the live divider
+    tuple, per-column halt flags, the fill fraction (0..1) and word
+    count of each column's horizontal input port, and the output-port
+    fill - all of the inter-domain buffers the hardware already has.
+    ``extras`` merges harness-level signals (deadline slack,
+    calibrated cycles-per-word) that a policy may consume.  The
+    snapshot never mutates the chip, so taking it is free of
+    simulation side effects on either engine.
+    """
     return Telemetry(
         epoch_index=epoch_index,
         reference_tick=chip.reference_ticks,

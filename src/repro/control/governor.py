@@ -32,24 +32,61 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "GOVERNOR_KINDS",
     "Governor",
     "OccupancyPIGovernor",
     "SlackGovernor",
     "StaticGovernor",
     "Telemetry",
+    "create_governor",
+    "validate_ladder",
 ]
+
+
+def validate_ladder(ladder) -> tuple:
+    """Normalize a divider ladder; raise on anything unusable.
+
+    A ladder is the discrete operating-point set a governor moves
+    along: a non-empty collection of positive integer clock dividers
+    with no duplicates.  Returns the sorted tuple (fastest rung
+    first); every governor constructor funnels through this check so
+    a bad ladder fails at construction time with a
+    :class:`~repro.errors.ConfigurationError`, not mid-run.
+    """
+    rungs = tuple(ladder)
+    if not rungs:
+        raise ConfigurationError("ladder needs at least one divider")
+    for divider in rungs:
+        # Type-check before sorting so a malformed entry fails here,
+        # as a ConfigurationError, not inside sorted() as a TypeError.
+        if not isinstance(divider, int) or divider < 1:
+            raise ConfigurationError(
+                f"ladder divider {divider!r} is not a positive integer"
+            )
+    if len(set(rungs)) != len(rungs):
+        raise ConfigurationError(
+            f"ladder {rungs} contains duplicate dividers"
+        )
+    return tuple(sorted(rungs))
 
 
 @dataclass(frozen=True)
 class Telemetry:
     """What a governor sees at one epoch boundary.
 
-    ``input_fill``/``output_fill`` are the managed ports' occupancy
-    fractions (the voltage-adapting :class:`~repro.arch.buffers`
-    between clock domains); ``backlog_words`` counts words queued at
-    each column's input including any upstream spill the harness is
-    holding.  ``extras`` carries harness-specific signals (deadline
-    slack, cycles-per-word calibration) for policies that need them.
+    ``reference_tick`` is the boundary's position in reference ticks
+    and ``reference_mhz`` the reference clock, so policies can convert
+    between ticks and wall time; ``dividers`` and ``halted`` are
+    per-column tuples of the committed operating points and halt
+    flags.  ``input_fill``/``output_fill`` are the managed ports'
+    occupancy fractions in [0, 1] (the voltage-adapting
+    :class:`~repro.arch.buffers` between clock domains);
+    ``backlog_words`` counts words queued at each column's input
+    including any upstream spill the harness is holding.  ``extras``
+    carries harness-specific signals (deadline slack, cycles-per-word
+    calibration) for policies that need them.  Snapshots are
+    immutable - a governor must be a pure function of this record for
+    governed runs to replay identically on both engines.
     """
 
     epoch_index: int
@@ -64,7 +101,17 @@ class Telemetry:
 
 
 class Governor:
-    """Decides the next epoch's divider tuple from telemetry."""
+    """Decides the next epoch's divider tuple from telemetry.
+
+    The policy interface of the control loop: at every epoch boundary
+    the runner snapshots a :class:`Telemetry` record and asks the
+    governor for the divider tuple to commit next.  Implementations
+    must be *deterministic functions of the telemetry stream* (any
+    internal state reset by :meth:`reset`) - that purity is what
+    keeps a governed run bit-identical between the reference and
+    compiled engines, and it is the only behavioural requirement
+    beyond returning dividers the chip's ladder can realize.
+    """
 
     name = "governor"
 
@@ -88,7 +135,17 @@ class Governor:
 
 
 class StaticGovernor(Governor):
-    """Startup-only clocking: today's Synchroscalar, as a governor."""
+    """Startup-only clocking: today's Synchroscalar, as a governor.
+
+    Holds one divider tuple for the whole run - either the tuple
+    given at construction (committed at the first epoch boundary) or,
+    with ``dividers=None``, whatever the chip booted with.  It never
+    reacts to telemetry, so it reproduces the paper's Section 2.4
+    behaviour exactly and doubles as the worst-case-provisioning
+    yardstick every evaluation compares against; a run under this
+    governor is bit-identical to the same chip run without the
+    control layer at all (the constant-governor equivalence test).
+    """
 
     name = "static"
 
@@ -159,9 +216,7 @@ class OccupancyPIGovernor(Governor):
         deadband: float = 0.5,
         integral_clamp: tuple = (-0.5, 3.0),
     ) -> None:
-        self.ladder = tuple(sorted(ladder))
-        if not self.ladder:
-            raise ConfigurationError("ladder needs at least one divider")
+        self.ladder = validate_ladder(ladder)
         self.columns = None if columns is None else tuple(columns)
         self.setpoint = setpoint
         self.kp = kp
@@ -227,9 +282,7 @@ class SlackGovernor(Governor):
         columns=None,
         guard: float = 1.25,
     ) -> None:
-        self.ladder = tuple(sorted(ladder))
-        if not self.ladder:
-            raise ConfigurationError("ladder needs at least one divider")
+        self.ladder = validate_ladder(ladder)
         if guard < 1.0:
             raise ConfigurationError("guard must be >= 1.0")
         self.columns = None if columns is None else tuple(columns)
@@ -261,3 +314,36 @@ class SlackGovernor(Governor):
             self.ladder, ticks, words, cycles_per_word, self.guard
         )
         return divider if divider is not None else self.ladder[0]
+
+
+#: Governor registry by policy name.  ``repro.control.coordinator``
+#: registers :class:`CoordinatedGovernor` here on import (the package
+#: ``__init__`` imports it, so the registry is complete whenever
+#: ``repro.control`` is), mirroring how simulation engines register in
+#: :data:`repro.sim.engine.ENGINES`.
+GOVERNOR_KINDS: dict = {
+    StaticGovernor.name: StaticGovernor,
+    OccupancyPIGovernor.name: OccupancyPIGovernor,
+    SlackGovernor.name: SlackGovernor,
+}
+
+
+def create_governor(name: str, *args, **kwargs) -> Governor:
+    """Instantiate a governor by registry name.
+
+    The control-layer analogue of
+    :func:`repro.sim.engine.create_engine`: positional and keyword
+    arguments are forwarded to the policy's constructor (most take the
+    divider ladder first), and an unknown name raises a
+    :class:`~repro.errors.ConfigurationError` listing the valid
+    choices - a configuration mistake, distinguishable from runtime
+    simulation failures.
+    """
+    try:
+        factory = GOVERNOR_KINDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown governor {name!r}; available: "
+            f"{sorted(GOVERNOR_KINDS)}"
+        ) from None
+    return factory(*args, **kwargs)

@@ -42,7 +42,16 @@ __all__ = ["TransitionModel", "TransitionRecord"]
 
 @dataclass(frozen=True)
 class TransitionRecord:
-    """One committed per-column operating-point change."""
+    """One committed per-column operating-point change.
+
+    ``tick`` is the commit boundary in reference ticks;
+    ``relock_ticks`` is how many reference ticks the column stays
+    clock-gated while its divided clock relocks (zero tile-clock
+    edges arrive in that window, on either engine); ``energy_nj`` is
+    the rail charge/discharge energy in nanojoules (zero for a pure
+    divider retune on an unchanged rail).  Records are emitted only
+    for *changed* columns - an unchanged column costs nothing.
+    """
 
     tick: int
     column: int
@@ -133,6 +142,22 @@ class TransitionModel:
         """
         delta = abs(v_to * v_to - v_from * v_from)
         return 0.5 * self.rail_capacitance_nf_per_tile * n_tiles * delta
+
+    def wake_energy_nj(self, voltage_v: float, n_tiles: int) -> float:
+        """Re-wake charge for a power-gated domain, in nJ.
+
+        Reconnecting a gated rail recharges the domain's decoupling
+        capacitance from 0 V back to the operating voltage:
+        ``1/2 * C_rail * V^2`` per tile (nF x V^2 = nJ) - the same
+        capacitance the rail-transition term uses, with the gated rail
+        as the zero-volt starting point.  The chip-level coordinator
+        prices this against the retention savings before gating a
+        quiescent column (see
+        :func:`repro.control.coordinator.plan_power_gating`).
+        """
+        if voltage_v < 0:
+            raise ConfigurationError("voltage_v must be non-negative")
+        return self.transition_energy_nj(0.0, voltage_v, n_tiles)
 
     # ------------------------------------------------------------------
     # legality and planning

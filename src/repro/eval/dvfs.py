@@ -49,7 +49,11 @@ def evaluate_scenario(key: str, frames: int | None = None) -> dict:
     factory = SCENARIOS[key]
     if frames is None and _smoke():
         frames = _SMOKE_FRAMES
-    scenario = factory(frames=frames) if frames else factory()
+    # `is not None`, not truthiness: an explicit frames=0 must reach
+    # the scenario constructor and fail its no-frames validation
+    # loudly instead of silently running the full default trace.
+    scenario = factory(frames=frames) if frames is not None \
+        else factory()
     return {
         kind: run_scenario(scenario, kind) for kind in GOVERNORS
     }

@@ -8,6 +8,7 @@ Options::
     python -m repro.eval.runner --jobs 4             # render in parallel
     python -m repro.eval.runner --measured           # sim-driven power
     python -m repro.eval.runner --dvfs               # governor eval
+    python -m repro.eval.runner --coordinated        # pipeline eval
 
 Experiments are independent pure functions of the model, so they
 render concurrently through :func:`repro.sim.batch.parallel_map`.
@@ -22,6 +23,13 @@ energy-ledger conservation audit.
 governors (:mod:`repro.eval.dvfs`), asserts the
 governors-beat-static-at-zero-misses contract, and emits
 ``BENCH_dvfs.json``.  ``BENCH_SMOKE=1`` shortens the traces for CI.
+
+``--coordinated`` runs the multi-column pipeline scenarios under
+static / independent / coordinated governance
+(:mod:`repro.eval.coordinated`), asserts the
+coordinated-beats-independent-beats-static contract with every
+governed run bit-identical across engines, and emits
+``BENCH_coordinated.json``.  ``BENCH_SMOKE=1`` shortens the traces.
 
 ``--engines`` times every benchmark workload under the reference and
 compiled engines (:mod:`repro.eval.engines`), asserts bit-identical
@@ -155,22 +163,53 @@ def main(argv: list | None = None) -> None:
              "BENCH_dvfs.json",
     )
     parser.add_argument(
+        "--coordinated", action="store_true",
+        help="run the multi-column pipeline scenarios under static, "
+             "independent, and coordinated governance, assert the "
+             "energy-ordering and bit-identical-engines contract, "
+             "and emit BENCH_coordinated.json",
+    )
+    parser.add_argument(
         "--engines", action="store_true",
         help="time every benchmark workload under the reference and "
              "compiled engines, assert bit-identical statistics, and "
              "emit BENCH_engine.json",
     )
     args = parser.parse_args(argv)
+    exclusive = [
+        name for name, chosen in (
+            ("--measured", args.measured),
+            ("--dvfs", args.dvfs),
+            ("--coordinated", args.coordinated),
+            ("--engines", args.engines),
+        ) if chosen
+    ]
+    if len(exclusive) > 1:
+        parser.error(
+            f"{' and '.join(exclusive)} are separate evaluations; "
+            f"run them one at a time"
+        )
+    if args.coordinated:
+        from repro.eval import coordinated
+
+        if args.experiments:
+            parser.error("--coordinated runs its own scenarios; drop "
+                         "--experiment")
+        if args.jobs != 1:
+            parser.error("--coordinated evaluates scenarios "
+                         "sequentially; --jobs does not apply")
+        evaluations = coordinated.evaluate_all()
+        payload = coordinated.bench_payload(evaluations)
+        print(coordinated.render(evaluations))
+        target = coordinated.write_bench(args.output or ".", payload)
+        print(f"wrote {target}")
+        return
     if args.engines:
         from repro.eval import engines
 
         if args.experiments:
             parser.error("--engines runs its own workloads; drop "
                          "--experiment")
-        if args.measured or args.dvfs:
-            parser.error("--engines, --measured, and --dvfs are "
-                         "separate evaluations; run them one at a "
-                         "time")
         if args.jobs != 1:
             parser.error("--engines times workloads sequentially so "
                          "wall clocks are comparable; --jobs does "
@@ -187,9 +226,6 @@ def main(argv: list | None = None) -> None:
         if args.experiments:
             parser.error("--dvfs runs its own scenarios; drop "
                          "--experiment")
-        if args.measured:
-            parser.error("--dvfs and --measured are separate "
-                         "evaluations; run them one at a time")
         if args.jobs != 1:
             parser.error("--dvfs evaluates scenarios sequentially; "
                          "--jobs does not apply")

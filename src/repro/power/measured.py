@@ -202,6 +202,11 @@ class DomainEnergy:
     idle_nj: float
     bus_nj: float
     leakage_nj: float
+    #: True when the domain's supply rail was power-gated for the
+    #: whole window: dynamic and interconnect terms are zero and only
+    #: the retention share of leakage accrues (see
+    #: :meth:`EnergyLedger.charge_gated`).
+    gated: bool = False
 
     @property
     def dynamic_nj(self) -> float:
@@ -311,6 +316,49 @@ class EnergyLedger:
         self._domains.append(entry)
         return entry
 
+    def charge_gated(
+        self,
+        power: ComponentPower,
+        time_us: float,
+        retained_leakage_fraction: float = 0.05,
+    ) -> DomainEnergy:
+        """Charge one domain for ``time_us`` on a power-gated rail.
+
+        Models Section 2.2's per-column supply gating applied at run
+        time: with the rail disconnected the domain's dynamic and
+        interconnect terms are exactly zero, and leakage drops to the
+        ``retained_leakage_fraction`` share drawn by the retention
+        circuitry (state-holding latches and the gating header itself).
+        Units match :meth:`charge`: mW x us = nJ.  The caller prices
+        re-connecting the rail separately through
+        :meth:`charge_transition` (see
+        :meth:`repro.control.transitions.TransitionModel.wake_energy_nj`),
+        so conservation stays exact: the ledger total still equals the
+        sum of charged power x time plus explicit transition charges.
+        """
+        if time_us < 0:
+            raise ConfigurationError("time_us must be non-negative")
+        if not 0.0 <= retained_leakage_fraction <= 1.0:
+            raise ConfigurationError(
+                "retained_leakage_fraction must be within [0, 1]"
+            )
+        entry = DomainEnergy(
+            name=power.name,
+            n_tiles=power.n_tiles,
+            frequency_mhz=power.frequency_mhz,
+            voltage_v=power.voltage_v,
+            time_us=time_us,
+            busy_fraction=0.0,
+            active_nj=0.0,
+            idle_nj=0.0,
+            bus_nj=0.0,
+            leakage_nj=power.leakage_mw * time_us
+            * retained_leakage_fraction,
+            gated=True,
+        )
+        self._domains.append(entry)
+        return entry
+
     @classmethod
     def from_application(
         cls,
@@ -355,6 +403,20 @@ class EnergyLedger:
     def idle_nj(self) -> float:
         """Dynamic energy attributed to idle (non-issuing) cycles."""
         return sum(entry.idle_nj for entry in self._domains)
+
+    @property
+    def gated_nj(self) -> float:
+        """Retention energy accrued over power-gated windows."""
+        return sum(
+            entry.total_nj for entry in self._domains if entry.gated
+        )
+
+    @property
+    def gated_time_us(self) -> float:
+        """Simulated time spent with some domain's rail gated."""
+        return sum(
+            entry.time_us for entry in self._domains if entry.gated
+        )
 
     def attach(self, stats: SimulationStats) -> SimulationStats:
         """A copy of ``stats`` carrying this per-domain breakdown."""

@@ -43,6 +43,10 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.arch.chip import Chip
 from repro.sim.stats import SimulationStats, collect
 
+#: Default run budget in reference ticks.  Exhausting it raises
+#: :class:`~repro.errors.SimulationError` - on this machine model a
+#: workload that has not halted within two million reference ticks is
+#: almost always a deadlocked communication schedule, not a long run.
 DEFAULT_MAX_TICKS = 2_000_000
 
 
@@ -105,7 +109,13 @@ class Engine:
         self.observers = tuple(observers)
 
     def step(self) -> None:
-        """Advance exactly one reference tick."""
+        """Advance exactly one reference tick, observers notified.
+
+        Always the tick-accurate path (every DOU stepped, every due
+        column edge executed), regardless of the engine's fast paths -
+        single-stepping is a debugging primitive and must see true
+        per-tick state.
+        """
         self.chip.step_reference_tick(self.observers)
 
     def advance(self, ticks: int) -> int:
@@ -142,7 +152,16 @@ class Engine:
 
 
 class ReferenceEngine(Engine):
-    """Tick-accurate stepping - the architectural reference."""
+    """Tick-accurate stepping - the architectural reference.
+
+    One Python iteration per reference tick through the single shared
+    stepping loop (:meth:`~repro.arch.chip.Chip.step_reference_tick`),
+    so its statistics define correctness: every other engine must be
+    bit-identical to this one, and the differential tests treat it as
+    the oracle.  It is the right engine whenever per-tick visibility
+    matters (tracing observers, ``until`` predicates, debugging) and
+    the slow one everywhere else.
+    """
 
     name = "reference"
 
@@ -569,6 +588,9 @@ class CompiledEngine(Engine):
         chip.reference_ticks = start + ticks
 
 
+#: Engine registry by name - the lookup behind :func:`create_engine`
+#: and the pattern :data:`repro.control.governor.GOVERNOR_KINDS`
+#: mirrors for governors.
 ENGINES = {
     ReferenceEngine.name: ReferenceEngine,
     CompiledEngine.name: CompiledEngine,

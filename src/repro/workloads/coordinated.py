@@ -1,0 +1,796 @@
+"""Multi-column governed pipelines for the coordinated evaluation.
+
+The bursty scenarios of :mod:`repro.workloads.dvfs` exercise one
+governed column; these scenarios govern whole *pipelines* - the
+paper's actual mapping style, where each column is one stage of the
+DDC or 802.11a receive chain running at its own rationally related
+clock.  A :class:`PipelineScenario` builds an N-column chip (one
+streaming worker per stage, horizontal bus moving words stage to
+stage) and a rate-varying frame trace; :func:`run_pipeline` drives it
+under one of three policies:
+
+* ``static`` - per-stage worst-case provisioning (the paper's
+  startup-only schedule applied to every stage);
+* ``independent`` - one per-column deadline governor per stage, each
+  consuming only the chip-global deadline signal (PR 3's slack
+  governor replicated per column, no cross-domain state);
+* ``coordinated`` - the chip-level
+  :class:`~repro.control.coordinator.CoordinatedGovernor`: per-stage
+  slack governors under rate matching, single-boundary commits, and
+  power gating of quiescent columns in the energy ledger.
+
+Deadlines are counted at the *end of the pipe* (a frame's words must
+all leave the last stage by the next frame boundary), and the energy
+ledger charges every (epoch, column) window at its committed
+operating point with gated-rail accounting for windows the
+coordinator proves quiescent - conservation stays exact including
+transition and re-wake charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.arch.chip import Chip, PORT_POSITION
+from repro.arch.config import ChipConfig, ColumnConfig
+from repro.arch.dou_compiler import Transfer, compile_schedule
+from repro.control.coordinator import (
+    CoordinatedGovernor,
+    plan_power_gating,
+)
+from repro.control.epochs import GovernedRun, run_governed
+from repro.control.governor import (
+    Governor,
+    SlackGovernor,
+    StaticGovernor,
+    slowest_safe_divider,
+)
+from repro.control.transitions import TransitionModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.isa.assembler import assemble
+from repro.power.interconnect import CommProfile
+from repro.power.measured import EnergyLedger
+from repro.power.model import ComponentSpec, PowerModel
+from repro.workloads.dvfs import _mcs_loads, energy_segments
+
+__all__ = [
+    "IndependentSlackGovernor",
+    "PIPELINE_GOVERNORS",
+    "PipelineResult",
+    "PipelineScenario",
+    "PipelineStage",
+    "charge_pipeline_ledger",
+    "ddc_pipeline_scenario",
+    "pipeline_governor",
+    "run_pipeline",
+    "wlan_rx_pipeline_scenario",
+]
+
+#: Leakage share still drawn by a power-gated rail (retention cells
+#: and the gating header); see EnergyLedger.charge_gated.
+GATED_LEAKAGE_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage: a column's streaming kernel shape.
+
+    ``work_per_word`` is the unrolled compute between the RECV and the
+    SEND, so a word costs ``work_per_word + 2`` tile cycles - the
+    per-stage rate currency every provisioning and matching rule uses.
+    """
+
+    name: str
+    work_per_word: int
+
+    def __post_init__(self) -> None:
+        if self.work_per_word < 1:
+            raise ConfigurationError(
+                f"stage {self.name}: work_per_word must be positive"
+            )
+
+    @property
+    def cycles_per_word(self) -> int:
+        """Tile cycles one word costs (RECV + work + SEND)."""
+        return self.work_per_word + 2
+
+
+@dataclass(frozen=True)
+class PipelineScenario:
+    """A rate-varying workload on an N-stage column pipeline.
+
+    Frame ``i`` arrives at the first stage at tick
+    ``i * frame_ticks``; its words must have left the *last* stage by
+    ``(i + 1) * frame_ticks``.  Words flow stage to stage over the
+    horizontal bus (one round-robin DOU state per adjacent channel),
+    through the voltage-adapting inter-column ports whose occupancy
+    the governors watch.  ``epoch_ticks`` must divide ``frame_ticks``
+    and be a multiple of every ladder divider so deadlines and
+    commits land on control boundaries.
+    """
+
+    name: str
+    key: str
+    frame_loads: tuple
+    stages: tuple
+    frame_ticks: int = 2048
+    reference_mhz: float = 512.0
+    divider_ladder: tuple = (1, 2, 4, 8)
+    epoch_ticks: int = 512
+    provision_guard: float = 1.3
+    coordination_guard: float = 1.25
+    port_capacity: int = 512
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "frame_loads", tuple(int(v) for v in self.frame_loads)
+        )
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(
+            self, "divider_ladder",
+            tuple(sorted(self.divider_ladder)),
+        )
+        if len(self.stages) < 2:
+            raise ConfigurationError(
+                f"{self.name}: a pipeline needs at least two stages"
+            )
+        for stage in self.stages:
+            if not isinstance(stage, PipelineStage):
+                raise ConfigurationError(
+                    f"{self.name}: stages must be PipelineStage "
+                    f"instances"
+                )
+        if not self.frame_loads:
+            raise ConfigurationError(f"{self.name}: no frames")
+        if min(self.frame_loads) < 1:
+            raise ConfigurationError(
+                f"{self.name}: every frame needs at least one word"
+            )
+        for divider in self.divider_ladder:
+            if self.frame_ticks % divider != 0 \
+                    or self.epoch_ticks % divider != 0:
+                raise ConfigurationError(
+                    f"{self.name}: frame and epoch ticks must be "
+                    f"multiples of ladder divider {divider}"
+                )
+        if self.frame_ticks % self.epoch_ticks != 0:
+            raise ConfigurationError(
+                f"{self.name}: epoch_ticks must divide frame_ticks "
+                f"so deadlines land on control boundaries"
+            )
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """Pipeline depth (columns on the chip)."""
+        return len(self.stages)
+
+    @property
+    def n_frames(self) -> int:
+        """Frames in the trace."""
+        return len(self.frame_loads)
+
+    @property
+    def total_words(self) -> int:
+        """Words across the whole trace."""
+        return sum(self.frame_loads)
+
+    @property
+    def peak_words(self) -> int:
+        """The heaviest frame - what static provisioning sizes for."""
+        return max(self.frame_loads)
+
+    @property
+    def stage_cycles(self) -> tuple:
+        """Per-stage tile cycles per word, pipeline order."""
+        return tuple(s.cycles_per_word for s in self.stages)
+
+    # ------------------------------------------------------------------
+    # provisioning
+    # ------------------------------------------------------------------
+    def static_dividers(self) -> tuple:
+        """Per-stage worst-case provisioning (startup-only clocking).
+
+        Each stage independently takes the slowest ladder rung that
+        still processes the *peak* frame inside one frame period with
+        the provisioning guard - exactly the paper's per-column rate
+        matching, applied to the worst case because a static schedule
+        cannot revisit the choice.
+        """
+        dividers = []
+        for stage in self.stages:
+            divider = slowest_safe_divider(
+                self.divider_ladder, self.frame_ticks, self.peak_words,
+                stage.cycles_per_word, self.provision_guard,
+            )
+            if divider is None:
+                raise ConfigurationError(
+                    f"{self.name}: stage {stage.name} cannot sustain "
+                    f"the peak frame of {self.peak_words} words even "
+                    f"at divider {self.divider_ladder[0]}"
+                )
+            dividers.append(divider)
+        return tuple(dividers)
+
+    # ------------------------------------------------------------------
+    # chip construction
+    # ------------------------------------------------------------------
+    def build_chip(self, dividers: tuple | None = None) -> Chip:
+        """An N-column streaming pipeline chip for this scenario."""
+        start = tuple(dividers) if dividers is not None \
+            else self.static_dividers()
+        if len(start) != self.n_stages:
+            raise ConfigurationError(
+                f"{self.name}: {self.n_stages} stages but "
+                f"{len(start)} start dividers"
+            )
+        programs = []
+        dou_programs = []
+        for index, stage in enumerate(self.stages):
+            work = "\n".join(
+                "  addi r2, r2, 1"
+                for _ in range(stage.work_per_word)
+            )
+            programs.append(assemble(f"""
+                tmask 0x1            ; tile 0 is the stage worker
+                movi r2, 0
+                loop {self.total_words}
+                  recv r1
+{work}
+                  send r1
+                endloop
+                halt
+            """, f"{self.key}-{stage.name}"))
+            dou_programs.append(compile_schedule(
+                [
+                    [Transfer(src=PORT_POSITION, dsts=(0,))],
+                    [Transfer(src=0, dsts=(PORT_POSITION,))],
+                ],
+                name=f"{self.key}-{stage.name}-stream",
+            ))
+        horizontal = compile_schedule(
+            [
+                [Transfer(src=index, dsts=(index + 1,))]
+                for index in range(self.n_stages - 1)
+            ],
+            n_positions=self.n_stages,
+            name=f"{self.key}-hbus",
+        )
+        config = ChipConfig(
+            reference_mhz=self.reference_mhz,
+            columns=tuple(
+                ColumnConfig(divider=d) for d in start
+            ),
+            port_capacity=self.port_capacity,
+            strict_schedules=False,
+        )
+        return Chip(
+            config,
+            programs=programs,
+            dou_programs=dou_programs,
+            horizontal_dou=horizontal,
+        )
+
+
+# ----------------------------------------------------------------------
+# scenario factories
+# ----------------------------------------------------------------------
+def _band_loads(frames: int, seed: int) -> tuple:
+    """A DDC channel-bandwidth trace: sticky rate with reconfigs."""
+    rng = np.random.default_rng(seed)
+    levels = (16, 32, 64, 96)  # narrowband .. full-rate words/frame
+    level = 1
+    loads = []
+    for _ in range(frames):
+        if rng.random() > 0.7:  # carrier/bandwidth reconfiguration
+            step = 1 if rng.random() < 0.5 else -1
+            level = min(len(levels) - 1, max(0, level + step))
+        loads.append(levels[level])
+    # Exercise the worst case at least once.
+    loads[int(rng.integers(frames // 2, frames))] = levels[-1]
+    return tuple(loads)
+
+
+def ddc_pipeline_scenario(
+    frames: int = 20, seed: int = 5
+) -> PipelineScenario:
+    """The DDC front end, governed end to end.
+
+    Four stages mirror the Section 2 mapping - NCO/mixer, CIC
+    decimator, compensation FIR, and gain stage - with per-word costs
+    chosen so the static schedule must spread the pipeline across
+    four different rungs (the paper's rational-clocking claim made
+    dynamic).
+    """
+    return PipelineScenario(
+        name="DDC pipeline (governed end to end)",
+        key="ddc_pipeline",
+        frame_loads=_band_loads(frames, seed),
+        stages=(
+            PipelineStage("mixer", work_per_word=2),
+            PipelineStage("cic", work_per_word=8),
+            PipelineStage("fir", work_per_word=4),
+            PipelineStage("gain", work_per_word=1),
+        ),
+    )
+
+
+def wlan_rx_pipeline_scenario(
+    frames: int = 20, seed: int = 7
+) -> PipelineScenario:
+    """An 802.11a receive chain under runtime MCS changes.
+
+    Three stages - FFT, demapper, Viterbi - share the WLAN
+    variable-MCS frame trace of the single-column evaluation, so the
+    coordinated results are directly comparable with PR 3's.
+    """
+    return PipelineScenario(
+        name="WLAN variable-MCS receiver pipeline",
+        key="wlan_rx_pipeline",
+        frame_loads=_mcs_loads(frames, seed),
+        stages=(
+            PipelineStage("fft", work_per_word=4),
+            PipelineStage("demap", work_per_word=2),
+            PipelineStage("viterbi", work_per_word=6),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# governors
+# ----------------------------------------------------------------------
+#: Policy names run_pipeline accepts (the evaluation compares all).
+PIPELINE_GOVERNORS = ("static", "independent", "coordinated")
+
+
+class IndependentSlackGovernor(Governor):
+    """Per-column deadline governors with no cross-domain state.
+
+    The uncoordinated middle ground the evaluation compares against:
+    every stage runs PR 3's :class:`SlackGovernor` on the *chip-global*
+    deadline signal (due words not yet out of the pipe) with its own
+    per-word cost.  Each stage therefore provisions as if it alone had
+    to clear the whole remaining backlog - deadline-safe, but blind to
+    how much of that work other stages have already retired, to what
+    its producer can actually deliver, and to any gating opportunity;
+    exactly the information the chip-level coordinator adds.
+    """
+
+    name = "independent"
+
+    def __init__(
+        self, ladder, cycles_per_word, guard: float = 1.25
+    ) -> None:
+        self.cycles_per_word = tuple(float(c) for c in cycles_per_word)
+        if not self.cycles_per_word:
+            raise ConfigurationError(
+                "cycles_per_word needs at least one stage"
+            )
+        self.governors = [
+            SlackGovernor(ladder, columns=(i,), guard=guard)
+            for i in range(len(self.cycles_per_word))
+        ]
+
+    def reset(self) -> None:
+        for governor in self.governors:
+            governor.reset()
+
+    def decide(self, telemetry) -> tuple:
+        dividers = list(telemetry.dividers)
+        for stage, governor in enumerate(self.governors):
+            if telemetry.halted[stage]:
+                continue
+            extras = dict(telemetry.extras)
+            # Only the stage's own per-word cost is local knowledge;
+            # the words owed stay chip-global (no per-stage progress
+            # sharing between independent controllers).
+            extras.pop("stage_words_to_deadline", None)
+            extras["cycles_per_word"] = self.cycles_per_word[stage]
+            view = replace(telemetry, extras=extras)
+            dividers[stage] = governor.decide(view)[stage]
+        return tuple(dividers)
+
+
+def pipeline_governor(
+    kind: str, scenario: PipelineScenario
+) -> Governor:
+    """Construct one of the evaluated pipeline policies.
+
+    Raises
+    ------
+    ConfigurationError
+        For names outside :data:`PIPELINE_GOVERNORS`, with the valid
+        choices listed.
+    """
+    if kind == "static":
+        return StaticGovernor(scenario.static_dividers())
+    if kind == "independent":
+        return IndependentSlackGovernor(
+            scenario.divider_ladder,
+            scenario.stage_cycles,
+            guard=scenario.coordination_guard,
+        )
+    if kind == "coordinated":
+        return CoordinatedGovernor(
+            scenario.divider_ladder,
+            scenario.stage_cycles,
+            guard=scenario.coordination_guard,
+        )
+    raise ConfigurationError(
+        f"unknown pipeline governor {kind!r}; valid: "
+        f"{sorted(PIPELINE_GOVERNORS)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+class _PipelineHarness:
+    """Feeds the head stage, drains the tail, publishes deadlines."""
+
+    def __init__(
+        self, scenario: PipelineScenario, chip: Chip
+    ) -> None:
+        self.scenario = scenario
+        self.chip = chip
+        self.fed_frames = 0
+        self.produced = 0
+        self.samples: list = []
+
+    def before_epoch(self, chip: Chip, epoch: int) -> None:
+        tick = chip.reference_ticks
+        tail = chip.columns[-1]
+        while not tail.h_out.is_empty:
+            tail.h_out.pop()
+            self.produced += 1
+        scenario = self.scenario
+        while self.fed_frames < scenario.n_frames \
+                and self.fed_frames * scenario.frame_ticks <= tick:
+            words = scenario.frame_loads[self.fed_frames]
+            head = chip.columns[0]
+            if len(head.h_in) + words > head.h_in.capacity:
+                raise SimulationError(
+                    f"{scenario.name}: head-stage port overflow at "
+                    f"tick {tick} - raise port_capacity or fix the "
+                    f"governor"
+                )
+            chip.feed_column(0, [1 + (w % 97) for w in range(words)])
+            self.fed_frames += 1
+        self.samples.append((tick, self.produced))
+
+    def _due_words(self, tick: int) -> tuple:
+        scenario = self.scenario
+        arrived = min(
+            scenario.n_frames - 1, tick // scenario.frame_ticks
+        )
+        due = sum(scenario.frame_loads[:arrived + 1])
+        next_deadline = (arrived + 1) * scenario.frame_ticks
+        return due, next_deadline
+
+    def telemetry_extras(self, chip: Chip, epoch: int) -> dict:
+        """Chip-level deadline signals, end-of-pipe and per-stage.
+
+        ``stage_words_to_deadline[i]`` subtracts from the due words
+        everything already *past* stage ``i`` - the words produced at
+        the pipe exit plus every word queued in a port downstream of
+        the stage's own input - so each stage's slack governor sees
+        only the work that is genuinely still its own.
+        """
+        scenario = self.scenario
+        tick = chip.reference_ticks
+        due, next_deadline = self._due_words(tick)
+        columns = chip.columns
+        stage_words = []
+        for index in range(scenario.n_stages):
+            past = self.produced + len(columns[index].h_out)
+            for downstream in columns[index + 1:]:
+                past += len(downstream.h_in) + len(downstream.h_out)
+            stage_words.append(max(0, due - past))
+        return {
+            "words_to_deadline": max(0, due - self.produced),
+            "ticks_to_deadline": max(1, next_deadline - tick),
+            "cycles_per_word": float(max(scenario.stage_cycles)),
+            "stage_words_to_deadline": tuple(stage_words),
+            "stage_cycles_per_word": tuple(
+                float(c) for c in scenario.stage_cycles
+            ),
+        }
+
+    def finish(self, run: GovernedRun) -> None:
+        """Credit words that only left during the post-halt drain."""
+        tail = self.chip.columns[-1]
+        while not tail.h_out.is_empty:
+            tail.h_out.pop()
+            self.produced += 1
+        self.samples.append(
+            (run.stats.reference_ticks, self.produced)
+        )
+
+    def deadline_misses(self) -> int:
+        """Frames whose words had not all left the pipe in time."""
+        scenario = self.scenario
+        misses = 0
+        due = 0
+        for index, words in enumerate(scenario.frame_loads):
+            due += words
+            deadline = (index + 1) * scenario.frame_ticks
+            produced_by_deadline = 0
+            for tick, produced in self.samples:
+                if tick <= deadline:
+                    produced_by_deadline = max(
+                        produced_by_deadline, produced
+                    )
+            if produced_by_deadline < due:
+                misses += 1
+        return misses
+
+
+# ----------------------------------------------------------------------
+# energy accounting with power gating
+# ----------------------------------------------------------------------
+def charge_pipeline_ledger(
+    scenario: PipelineScenario,
+    run: GovernedRun,
+    model: PowerModel,
+    transition_model: TransitionModel,
+    gating: bool = True,
+) -> tuple:
+    """Ledger over the pipeline timeline, with gated-rail windows.
+
+    Every (epoch, column) window is charged at that epoch's committed
+    operating point with the window's measured busy split, exactly as
+    the single-column charger does; additionally, when ``gating`` is
+    on, the coordinator's gate plan
+    (:func:`~repro.control.coordinator.plan_power_gating`) marks fully
+    quiescent windows, and each candidate segment is gated only if the
+    retention savings beat its re-wake rail charge - the break-even
+    rule that keeps gating from thrashing on short idles.  Gated
+    windows charge at the gated rate (retention leakage only); a
+    wake-free tail segment's gate extends through the post-halt drain
+    window (that rail is off for good); every applied wake prices
+    ``1/2 C_rail V^2`` through
+    :meth:`~repro.control.transitions.TransitionModel.wake_energy_nj`.
+
+    Returns ``(ledger, conservation_error, applied_gate_segments)``;
+    the error re-accumulates the expected energy alongside the ledger
+    (power x time over ungated windows, retention energy over gated
+    ones, plus every transition and wake charge), so conservation
+    stays exact by construction and any term-splitting bug raises the
+    relative error above the asserted tolerance.
+    """
+    segments = energy_segments(run, scenario.name)
+    reference_mhz = scenario.reference_mhz
+    n_columns = scenario.n_stages
+
+    # Evaluate every (segment, column) operating point once.
+    powers = []
+    for index, (dividers, ticks, activity) in enumerate(segments):
+        row = []
+        for column in range(n_columns):
+            delta = activity[column] if activity is not None else None
+            spec = ComponentSpec(
+                name=f"seg{index}.col{column}",
+                n_tiles=run.stats.column(column).n_tiles,
+                frequency_mhz=reference_mhz / dividers[column],
+                comm=CommProfile(
+                    words_per_cycle=(
+                        delta.words_per_cycle if delta else 0.0
+                    ),
+                ),
+            )
+            row.append(model.component_power(spec))
+        powers.append(row)
+
+    # Decide which candidate gate segments pay for themselves.  A
+    # wake-free tail segment powers its column off for good, so its
+    # gate extends through the post-halt drain segment too - the
+    # drain window must not be charged ungated for a rail the
+    # coordinator declared permanently off.
+    n_epochs = len(run.timeline)
+    has_drain = len(segments) == n_epochs + 1
+    applied = []
+    gated: set = set()
+    if gating:
+        for segment in plan_power_gating(run.timeline):
+            column = segment.column
+            windows = list(
+                range(segment.start_epoch, segment.end_epoch)
+            )
+            if not segment.wake and segment.end_epoch == n_epochs \
+                    and has_drain:
+                windows.append(n_epochs)
+            savings = 0.0
+            for epoch in windows:
+                power = powers[epoch][column]
+                time_us = segments[epoch][1] / reference_mhz
+                savings += power.total_mw * time_us \
+                    - power.leakage_mw * time_us \
+                    * GATED_LEAKAGE_FRACTION
+            wake_nj = 0.0
+            if segment.wake:
+                wake_divider = run.timeline[
+                    segment.end_epoch
+                ].dividers[column]
+                wake_nj = transition_model.wake_energy_nj(
+                    transition_model.voltage_for(
+                        reference_mhz, wake_divider
+                    ),
+                    run.stats.column(column).n_tiles,
+                )
+            if savings > wake_nj:
+                applied.append((segment, wake_nj))
+                gated.update((epoch, column) for epoch in windows)
+
+    ledger = EnergyLedger()
+    expected = 0.0
+    for index, (dividers, ticks, activity) in enumerate(segments):
+        time_us = ticks / reference_mhz
+        for column in range(n_columns):
+            power = powers[index][column]
+            if (index, column) in gated:
+                ledger.charge_gated(
+                    power, time_us,
+                    retained_leakage_fraction=GATED_LEAKAGE_FRACTION,
+                )
+                expected += power.leakage_mw * time_us \
+                    * GATED_LEAKAGE_FRACTION
+                continue
+            delta = activity[column] if activity is not None else None
+            ledger.charge(
+                power, time_us,
+                busy_fraction=delta.busy_fraction if delta else 0.0,
+            )
+            expected += power.total_mw * time_us
+    for record in run.transitions:
+        ledger.charge_transition(record.label, record.energy_nj)
+        expected += record.energy_nj
+    for segment, wake_nj in applied:
+        if segment.wake:
+            ledger.charge_transition(
+                f"wake col{segment.column} t{segment.end_tick}",
+                wake_nj,
+            )
+            expected += wake_nj
+    if expected > 0:
+        error = abs(ledger.total_nj - expected) / expected
+    else:
+        error = abs(ledger.total_nj)
+    return ledger, error, tuple(segment for segment, _ in applied)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineResult:
+    """A governed pipeline run with deadlines and energy settled."""
+
+    scenario: PipelineScenario
+    governor: str
+    run: GovernedRun
+    ledger: EnergyLedger
+    deadline_misses: int
+    produced_samples: tuple
+    conservation_error: float
+    gate_segments: tuple = ()
+
+    @property
+    def energy_nj(self) -> float:
+        """Total energy including transition and wake charges."""
+        return self.ledger.total_nj
+
+    @property
+    def transition_nj(self) -> float:
+        """Energy charged to rail transitions and re-wakes."""
+        return self.ledger.transition_nj
+
+    @property
+    def transition_count(self) -> int:
+        """Committed per-column operating-point changes."""
+        return self.run.transition_count
+
+    @property
+    def gated_nj(self) -> float:
+        """Retention energy accrued over gated windows."""
+        return self.ledger.gated_nj
+
+    @property
+    def gated_time_us(self) -> float:
+        """Column-time spent on a gated rail."""
+        return self.ledger.gated_time_us
+
+    @property
+    def wake_count(self) -> int:
+        """Applied gate segments that priced a rail re-wake."""
+        return sum(1 for s in self.gate_segments if s.wake)
+
+    @property
+    def average_mw(self) -> float:
+        """Mean power over the simulated run."""
+        time_us = self.run.stats.simulated_time_us
+        if time_us <= 0:
+            return 0.0
+        return self.energy_nj / time_us
+
+    @property
+    def idle_fraction(self) -> float:
+        """Idle share of tile cycles across all stages and epochs."""
+        cycles = sum(
+            activity.tile_cycles
+            for epoch in self.run.timeline
+            for activity in epoch.column_activity
+        )
+        idle = sum(
+            activity.idle
+            for epoch in self.run.timeline
+            for activity in epoch.column_activity
+        )
+        return idle / cycles if cycles else 0.0
+
+    def frequency_residency(self, column: int) -> dict:
+        """Per-domain frequency residency histogram."""
+        return self.run.stats_with_epochs.frequency_residency(column)
+
+
+def run_pipeline(
+    scenario: PipelineScenario,
+    governor: Governor | str,
+    engine: str = "auto",
+    transition_model: TransitionModel | None = None,
+    model: PowerModel | None = None,
+    max_ticks: int | None = None,
+    gating: bool | None = None,
+) -> PipelineResult:
+    """Run one pipeline scenario under one policy; settle the books.
+
+    ``gating=None`` enables gated-rail accounting exactly when the
+    policy is the chip-level coordinator - only the agent that owns
+    every domain can safely sequence a rail gate against its
+    cross-domain commits; pass an explicit bool to override (the
+    gating tests charge an independent run both ways).
+    """
+    if isinstance(governor, str):
+        governor = pipeline_governor(governor, scenario)
+    if gating is None:
+        gating = isinstance(governor, CoordinatedGovernor)
+    chip = scenario.build_chip()
+    harness = _PipelineHarness(scenario, chip)
+    budget = max_ticks if max_ticks is not None else (
+        (scenario.n_frames + 8) * scenario.frame_ticks * 4
+    )
+    transitions = transition_model or TransitionModel()
+    run = run_governed(
+        chip,
+        governor,
+        transition_model=transitions,
+        engine=engine,
+        epoch_ticks=scenario.epoch_ticks,
+        max_ticks=budget,
+        before_epoch=harness.before_epoch,
+        telemetry_extras=harness.telemetry_extras,
+    )
+    harness.finish(run)
+    if harness.produced != scenario.total_words:
+        raise SimulationError(
+            f"{scenario.name}: produced {harness.produced} of "
+            f"{scenario.total_words} words - the pipeline and trace "
+            f"disagree"
+        )
+    ledger, error, gate_segments = charge_pipeline_ledger(
+        scenario, run, model or PowerModel(), transitions,
+        gating=gating,
+    )
+    return PipelineResult(
+        scenario=scenario,
+        governor=governor.name,
+        run=run,
+        ledger=ledger,
+        deadline_misses=harness.deadline_misses(),
+        produced_samples=tuple(harness.samples),
+        conservation_error=error,
+        gate_segments=gate_segments,
+    )

@@ -52,6 +52,7 @@ __all__ = [
     "BurstyScenario",
     "ScenarioResult",
     "default_governor",
+    "energy_segments",
     "mpeg4_scene_scenario",
     "run_scenario",
     "wlan_mcs_scenario",
@@ -398,6 +399,36 @@ class _ScenarioHarness:
         return misses
 
 
+def energy_segments(run: GovernedRun, name: str = "run") -> list:
+    """Tile a governed run's tick span into chargeable segments.
+
+    Returns ``(dividers, duration_ticks, column_activity | None)``
+    triples: one per epoch window, plus a final activity-free segment
+    for the post-halt bus drain at the last committed clock.  The
+    *coverage* invariant is checked here - the segments must tile the
+    run's full reference-tick span exactly, so a dropped epoch or
+    drain window raises :class:`~repro.errors.SimulationError` instead
+    of silently undercounting energy.  Both the single-column DVFS
+    charger and the coordinated pipeline charger build on this.
+    """
+    segments = [
+        (epoch.dividers, epoch.duration_ticks, epoch.column_activity)
+        for epoch in run.timeline
+    ]
+    covered = run.timeline[-1].end_tick if run.timeline else 0
+    drain = run.stats.reference_ticks - covered
+    if drain > 0 and run.timeline:
+        segments.append((run.timeline[-1].dividers, drain, None))
+    tiled = sum(ticks for _, ticks, _ in segments)
+    if tiled != run.stats.reference_ticks:
+        raise SimulationError(
+            f"{name}: energy segments cover {tiled} of "
+            f"{run.stats.reference_ticks} reference ticks - the "
+            f"ledger would undercount"
+        )
+    return segments
+
+
 def _charge_ledger(
     scenario: BurstyScenario,
     run: GovernedRun,
@@ -410,32 +441,16 @@ def _charge_ledger(
     density; the post-halt drain is charged idle at the final
     operating point; every rail transition adds its charge energy.
 
-    Two checks guard the accounting: a *coverage* invariant - the
-    charged segments must tile the run's full tick span, so a dropped
-    epoch or drain window raises instead of silently undercounting -
-    and the returned conservation error, which re-accumulates
-    sum(power x time) + transitions alongside the ledger and so
-    verifies the ledger's own term-splitting (the window coverage is
-    what the first check makes trustworthy).
+    Two checks guard the accounting: the coverage invariant enforced
+    by :func:`energy_segments`, and the returned conservation error,
+    which re-accumulates sum(power x time) + transitions alongside
+    the ledger and so verifies the ledger's own term-splitting (the
+    window coverage is what makes the first check trustworthy).
     """
     ledger = EnergyLedger()
     expected = 0.0
     reference_mhz = scenario.reference_mhz
-    segments = [
-        (epoch.dividers, epoch.duration_ticks, epoch.column_activity)
-        for epoch in run.timeline
-    ]
-    covered = run.timeline[-1].end_tick if run.timeline else 0
-    drain = run.stats.reference_ticks - covered
-    if drain > 0 and run.timeline:
-        segments.append((run.timeline[-1].dividers, drain, None))
-    tiled = sum(ticks for _, ticks, _ in segments)
-    if tiled != run.stats.reference_ticks:
-        raise SimulationError(
-            f"{scenario.name}: energy segments cover {tiled} of "
-            f"{run.stats.reference_ticks} reference ticks - the "
-            f"ledger would undercount"
-        )
+    segments = energy_segments(run, scenario.name)
     for index, (dividers, ticks, activity) in enumerate(segments):
         time_us = ticks / reference_mhz
         for column, divider in enumerate(dividers):

@@ -156,3 +156,70 @@ class TestSlackGovernor:
     def test_rejects_sub_unity_guard(self):
         with pytest.raises(ConfigurationError, match="guard"):
             SlackGovernor(LADDER, guard=0.5)
+
+
+class TestLadderValidation:
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            OccupancyPIGovernor(())
+
+    def test_rejects_non_integer_rungs(self):
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            SlackGovernor((1, 2.5))
+
+    def test_rejects_non_comparable_rungs_as_configuration_error(self):
+        # Type checks run before sorting, so a malformed entry fails
+        # as the promised ConfigurationError, not sorted()'s TypeError.
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            SlackGovernor((2, "4"))
+
+    def test_rejects_non_positive_rungs(self):
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            OccupancyPIGovernor((1, 0, 4))
+
+    def test_rejects_duplicate_rungs(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SlackGovernor((1, 2, 2, 4))
+
+    def test_normalizes_order(self):
+        assert SlackGovernor((8, 1, 4, 2)).ladder == (1, 2, 4, 8)
+
+
+class TestCreateGovernor:
+    def test_builds_each_registered_kind(self):
+        from repro.control.governor import create_governor
+        # The coordinator registers itself when the package imports.
+        import repro.control  # noqa: F401
+
+        assert isinstance(
+            create_governor("static"), StaticGovernor
+        )
+        assert isinstance(
+            create_governor("occupancy_pi", LADDER),
+            OccupancyPIGovernor,
+        )
+        assert isinstance(
+            create_governor("slack", LADDER, guard=1.5), SlackGovernor
+        )
+
+    def test_forwards_keyword_arguments(self):
+        from repro.control.governor import create_governor
+
+        governor = create_governor("slack", LADDER, guard=2.0)
+        assert governor.guard == 2.0
+
+    def test_unknown_name_lists_valid_choices(self):
+        from repro.control.governor import create_governor
+        import repro.control  # noqa: F401
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            create_governor("thermal")
+        message = str(excinfo.value)
+        for kind in ("coordinated", "occupancy_pi", "slack", "static"):
+            assert kind in message
+
+    def test_bad_constructor_arguments_still_raise(self):
+        from repro.control.governor import create_governor
+
+        with pytest.raises(ConfigurationError):
+            create_governor("slack", LADDER, guard=0.2)

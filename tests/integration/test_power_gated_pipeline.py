@@ -1,0 +1,111 @@
+"""Gated-rail accounting on a DDC pipeline that loses a column.
+
+The DDC head stage (the mixer) finishes its trace while the heavier
+downstream stages are still working: a column halts *mid-scenario*.
+The coordinator must park it, the gate planner must turn its
+remaining windows into a no-wake tail segment, the ledger must charge
+those windows at the gated rate - and energy conservation must stay
+exact through all of it, including the re-wake charges priced for the
+light-frame idles earlier in the run.
+"""
+
+import pytest
+
+from repro.workloads.coordinated import (
+    ddc_pipeline_scenario,
+    run_pipeline,
+)
+
+FRAMES = 8
+
+
+@pytest.fixture(scope="module")
+def coordinated_run():
+    scenario = ddc_pipeline_scenario(frames=FRAMES)
+    return scenario, run_pipeline(scenario, "coordinated")
+
+
+def _quiet_from(result, column):
+    """First epoch index after which the column never issues again."""
+    timeline = result.run.timeline
+    for index in range(len(timeline) - 1, -1, -1):
+        if timeline[index].column_activity[column].issued != 0:
+            return index + 1
+    return 0
+
+
+def test_head_column_halts_mid_scenario(coordinated_run):
+    _, result = coordinated_run
+    n_epochs = len(result.run.timeline)
+    head_quiet = _quiet_from(result, 0)
+    tail_quiet = _quiet_from(result, result.scenario.n_stages - 1)
+    assert head_quiet < n_epochs  # the head really went quiet...
+    assert head_quiet < tail_quiet  # ...while downstream still worked
+
+
+def test_halted_column_is_parked_on_the_slowest_rung(coordinated_run):
+    scenario, result = coordinated_run
+    final = result.run.timeline[-1].dividers
+    assert final[0] == scenario.divider_ladder[-1]
+
+
+def test_halted_tail_is_gated_without_a_wake(coordinated_run):
+    _, result = coordinated_run
+    n_epochs = len(result.run.timeline)
+    tails = [
+        segment for segment in result.gate_segments
+        if segment.column == 0 and not segment.wake
+    ]
+    assert len(tails) == 1
+    tail = tails[0]
+    assert tail.end_epoch == n_epochs
+    assert tail.start_epoch == _quiet_from(result, 0)
+
+
+def test_tail_gate_extends_through_the_drain(coordinated_run):
+    # "Powers off for good" must include the post-halt drain window:
+    # the drain segment for the halted head column is charged gated.
+    _, result = coordinated_run
+    n_epochs = len(result.run.timeline)
+    drain = result.run.stats.reference_ticks \
+        - result.run.timeline[-1].end_tick
+    assert drain > 0  # the scenario really has a drain window
+    drain_entry = result.ledger.domain(f"seg{n_epochs}.col0")
+    assert drain_entry.gated is True
+
+
+def test_gated_windows_charge_the_gated_rate(coordinated_run):
+    _, result = coordinated_run
+    gated = [e for e in result.ledger.domains if e.gated]
+    assert gated
+    for entry in gated:
+        assert entry.active_nj == 0.0
+        assert entry.idle_nj == 0.0
+        assert entry.bus_nj == 0.0
+        assert entry.leakage_nj >= 0.0
+        assert entry.busy_fraction == 0.0
+
+
+def test_rewakes_are_priced(coordinated_run):
+    _, result = coordinated_run
+    assert result.wake_count >= 1
+    wakes = [
+        t for t in result.ledger.transitions
+        if t.name.startswith("wake")
+    ]
+    assert len(wakes) == result.wake_count
+    for wake in wakes:
+        assert wake.energy_nj > 0.0
+
+
+def test_conservation_holds_with_a_mid_scenario_halt(coordinated_run):
+    _, result = coordinated_run
+    assert result.conservation_error <= 1e-9
+    # The ledger total decomposes exactly into domain energy plus
+    # every transition and wake charge - no window double-charged or
+    # dropped around the halt boundary.
+    domains = sum(e.total_nj for e in result.ledger.domains)
+    transitions = result.ledger.transition_nj
+    assert result.energy_nj == pytest.approx(
+        domains + transitions, rel=1e-12
+    )

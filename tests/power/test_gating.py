@@ -1,0 +1,91 @@
+"""Gated-rail energy accounting: retention charge, wake pricing."""
+
+import pytest
+
+from repro.control.transitions import TransitionModel
+from repro.errors import ConfigurationError
+from repro.power.measured import EnergyLedger
+from repro.power.model import ComponentPower
+
+POWER = ComponentPower(
+    name="col1",
+    n_tiles=4,
+    frequency_mhz=64.0,
+    voltage_v=0.7,
+    dynamic_mw=12.0,
+    bus_mw=3.0,
+    leakage_mw=2.0,
+)
+
+
+class TestChargeGated:
+    def test_charges_only_retained_leakage(self):
+        ledger = EnergyLedger()
+        entry = ledger.charge_gated(
+            POWER, 10.0, retained_leakage_fraction=0.05
+        )
+        assert entry.gated is True
+        assert entry.active_nj == 0.0
+        assert entry.idle_nj == 0.0
+        assert entry.bus_nj == 0.0
+        assert entry.leakage_nj == pytest.approx(2.0 * 10.0 * 0.05)
+        assert entry.total_nj == pytest.approx(1.0)
+
+    def test_gated_rate_is_far_below_the_ungated_window(self):
+        ledger = EnergyLedger()
+        gated = ledger.charge_gated(POWER, 10.0)
+        ungated = ledger.charge(POWER, 10.0, busy_fraction=0.0)
+        assert ungated.gated is False
+        assert gated.total_nj < 0.01 * ungated.total_nj
+
+    def test_gated_totals_aggregate(self):
+        ledger = EnergyLedger()
+        ledger.charge(POWER, 5.0)
+        ledger.charge_gated(POWER, 10.0, retained_leakage_fraction=0.1)
+        ledger.charge_gated(POWER, 20.0, retained_leakage_fraction=0.1)
+        assert ledger.gated_time_us == pytest.approx(30.0)
+        assert ledger.gated_nj == pytest.approx(2.0 * 30.0 * 0.1)
+        # Conservation across mixed windows: total equals the sum of
+        # each window's charged power x time.
+        expected = POWER.total_mw * 5.0 + 2.0 * 30.0 * 0.1
+        assert ledger.total_nj == pytest.approx(expected, rel=1e-12)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            EnergyLedger().charge_gated(POWER, -1.0)
+
+    def test_rejects_out_of_range_retention(self):
+        with pytest.raises(ConfigurationError):
+            EnergyLedger().charge_gated(
+                POWER, 1.0, retained_leakage_fraction=1.5
+            )
+
+
+class TestWakeEnergy:
+    def test_wake_recharges_the_rail_from_zero(self):
+        model = TransitionModel()
+        # Waking into V equals a rail transition from 0 V to V.
+        assert model.wake_energy_nj(1.0, 4) == pytest.approx(
+            model.transition_energy_nj(0.0, 1.0, 4)
+        )
+
+    def test_scales_with_voltage_squared_and_tiles(self):
+        model = TransitionModel()
+        base = model.wake_energy_nj(0.7, 4)
+        assert model.wake_energy_nj(1.4, 4) == pytest.approx(4 * base)
+        assert model.wake_energy_nj(0.7, 8) == pytest.approx(2 * base)
+
+    def test_rejects_negative_voltage(self):
+        with pytest.raises(ConfigurationError):
+            TransitionModel().wake_energy_nj(-0.1, 4)
+
+    def test_wake_charge_lands_in_the_ledger_as_transition(self):
+        model = TransitionModel()
+        ledger = EnergyLedger()
+        ledger.charge_gated(POWER, 10.0)
+        wake = model.wake_energy_nj(0.7, 4)
+        ledger.charge_transition("wake col1 t1024", wake)
+        assert ledger.transition_nj == pytest.approx(wake)
+        assert ledger.total_nj == pytest.approx(
+            ledger.gated_nj + wake
+        )

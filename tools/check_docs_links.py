@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Check that every intra-repo markdown link resolves.
+
+Scans the documentation surface (``README.md`` and ``docs/*.md``) for
+markdown links and verifies that every relative target exists in the
+repository.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors are skipped; a ``path#fragment`` target is checked
+for the path only (fragment validity is the renderer's problem, file
+existence is ours).
+
+Exits non-zero listing every broken link, so CI fails loudly when a
+doc split or rename leaves a dangling reference.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The files whose links are checked (the curated doc surface; the
+#: research-notes files PAPERS.md/SNIPPETS.md carry verbatim external
+#: material and are deliberately out of scope).
+DOC_GLOBS = ("README.md", "docs/*.md")
+
+#: Inline markdown links: [text](target).  Images ![alt](target) are
+#: matched too via the optional leading bang.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced code blocks must not contribute false links.
+FENCE_PATTERN = re.compile(r"^(```|~~~)")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every markdown link in a file."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        if FENCE_PATTERN.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    """Return ``(line, target, reason)`` for every broken link."""
+    broken = []
+    for number, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((number, target, "target does not exist"))
+        elif REPO_ROOT not in resolved.parents \
+                and resolved != REPO_ROOT:
+            broken.append((number, target, "escapes the repository"))
+    return broken
+
+
+def main() -> int:
+    files = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for number, target, reason in check_file(path):
+            failures += 1
+            print(
+                f"{path.relative_to(REPO_ROOT)}:{number}: "
+                f"broken link {target!r} ({reason})",
+                file=sys.stderr,
+            )
+    checked = len(files)
+    if failures:
+        print(
+            f"{failures} broken link(s) across {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all intra-repo links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

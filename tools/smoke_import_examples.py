@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Import every ``examples/*.py`` module as a smoke test.
+
+``python -m compileall`` catches syntax errors; this script catches
+the next failure class — broken imports and renamed APIs — by
+actually importing each example.  Every example guards its entry
+point behind ``if __name__ == "__main__"``, so importing executes
+only definitions, never a full run.
+
+Run with the package importable (``PYTHONPATH=src``); the script adds
+the repository's ``src/`` itself when needed, so it also works as
+plain ``python tools/smoke_import_examples.py``.  Exits non-zero
+listing every example that failed to import.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+    if not examples:
+        print("no examples found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in examples:
+        name = f"_example_smoke_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(module)
+        except Exception:
+            failures += 1
+            print(f"FAIL {path.relative_to(REPO_ROOT)}",
+                  file=sys.stderr)
+            traceback.print_exc()
+        else:
+            print(f"ok   {path.relative_to(REPO_ROOT)}")
+        finally:
+            sys.modules.pop(name, None)
+    if failures:
+        print(f"{failures} example(s) failed to import",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(examples)} examples import cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
