@@ -126,6 +126,48 @@ class Column:
                 return True
         return False
 
+    def blocked_on_send(self) -> bool:
+        """Whether the next tile-clock edges are certain SEND stalls.
+
+        The backpressure mirror of :meth:`blocked_on_recv`: the
+        pending instruction is a SEND and some enabled tile's write
+        buffer is full, so the column cannot issue until a DOU drain
+        pops a word - every edge until then costs exactly one
+        ``comm_stalls`` tile cycle.
+        """
+        pending = self.controller._pending
+        if pending is None or pending.opcode is not Opcode.SEND:
+            return False
+        for tile in self.active_tiles():
+            if tile.write_buffer.is_full:
+                return True
+        return False
+
+    def parked_on_comm(self) -> bool:
+        """Whether the column is certainly stalled on its pending comm.
+
+        ``blocked_on_recv() or blocked_on_send()`` with the pending
+        instruction inspected once - the form the compiled engine's
+        batching loop calls per live column per jump.  A parked column
+        stays parked exactly as long as no DOU capture or drain
+        touches its buffers, so its stall edges can be settled
+        arithmetically over any span the DOUs provably sit still.
+        """
+        pending = self.controller._pending
+        if pending is None:
+            return False
+        op = pending.opcode
+        if op is Opcode.RECV:
+            for tile in self.active_tiles():
+                if tile.read_buffer.is_empty:
+                    return True
+            return False
+        if op is Opcode.SEND:
+            for tile in self.active_tiles():
+                if tile.write_buffer.is_full:
+                    return True
+        return False
+
     def step_tile_clock(self) -> str:
         """Advance the column by one tile clock; returns the outcome."""
         self.tile_cycles += 1

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.arch.dou_exec import compile_state_plans
+from repro.arch.dou_exec import compile_orbits, compile_state_plans
 
 MAX_STATES = 128
 MAX_COUNTERS = 4
@@ -250,6 +250,9 @@ class Dou:
         self._plans = compile_state_plans(
             program, bus, write_ports, read_ports, strict
         )
+        # Closed unconditional-transition orbits per state: the
+        # no-progress batching structure (repro.arch.dou_exec).
+        self._orbits = compile_orbits(program, self._plans)
         self.words_moved = 0     # successful captures (broadcast = N)
         self.words_retired = 0   # retired drives (broadcast = 1)
         self.span_words = 0.0    # sum of per-retire bus-span fractions
@@ -316,6 +319,89 @@ class Dou:
         """
         self.cycles += n_cycles
         self.blocked_cycles += n_cycles
+
+    def stall_orbit(self):
+        """The per-lap effects of the current no-progress orbit, or None.
+
+        Classifies every state of the closed unconditional orbit the
+        machine currently sits in (compiled at bind time; None when
+        the current state is not on one) under *frozen* buffer
+        occupancy: a state makes no progress when every drive whose
+        source holds a word feeds only full destinations - covering
+        full starvation (no active drives), full backpressure (every
+        capture blocked), and transfer-free idle states alike.  The
+        moment any capture could land, the orbit is live and None is
+        returned.
+
+        The result is a list of ``(stalls, n_active)`` per orbit
+        position - ``stalls`` flags a ``blocked_cycles`` increment
+        (the state drives the bus), ``n_active`` counts drives with a
+        word (each blocked cycle moves them onto the wire, charging
+        the bus traffic counters even though nothing retires, exactly
+        like the interpreter).  Valid for any span during which no
+        external agent touches the buffers; apply it with
+        :meth:`fast_stall_orbit`.
+        """
+        orbit = self._orbits[self.state_index]
+        if orbit is None:
+            return None
+        plans = self._plans
+        effects = []
+        for index in orbit:
+            plan = plans[index]
+            active = 0
+            for src_words, destinations in plan.blocks:
+                if not src_words:
+                    continue
+                for dest_words, capacity in destinations:
+                    if len(dest_words) < capacity:
+                        return None  # a capture can land: progress
+                active += 1
+            effects.append((1 if plan.n_drives else 0, active))
+        return effects
+
+    def fast_stall_orbit(self, effects, n_cycles: int) -> None:
+        """Account ``n_cycles`` of the no-progress orbit arithmetically.
+
+        ``effects`` must come from :meth:`stall_orbit` with the state
+        pointer unmoved since, and the caller must guarantee no buffer
+        is pushed or popped during the batched span.  Cycle counts and
+        bus traffic are charged per orbit position from lap counts;
+        the state pointer lands where ``n_cycles`` steps of the orbit
+        would leave it.  Counters are untouched - orbit states test
+        none by construction.
+        """
+        self.cycles += n_cycles
+        length = len(effects)
+        if length == 1:
+            stalls, active = effects[0]
+            if stalls:
+                self.blocked_cycles += n_cycles
+            if active:
+                bus = self.bus
+                bus.words_moved += active * n_cycles
+                bus.cycles_with_traffic += n_cycles
+            return
+        laps, rem = divmod(n_cycles, length)
+        stalled = 0
+        words = 0
+        traffic = 0
+        for position, (stalls, active) in enumerate(effects):
+            visits = laps + (1 if position < rem else 0)
+            if not visits:
+                continue
+            if stalls:
+                stalled += visits
+            if active:
+                words += active * visits
+                traffic += visits
+        self.blocked_cycles += stalled
+        if words:
+            bus = self.bus
+            bus.words_moved += words
+            bus.cycles_with_traffic += traffic
+        orbit = self._orbits[self.state_index]
+        self.state_index = orbit[rem]
 
     def _advance(self) -> None:
         state = self.state

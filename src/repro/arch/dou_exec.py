@@ -33,7 +33,7 @@ cases stay byte-for-byte identical to the uncompiled machine.
 
 from __future__ import annotations
 
-__all__ = ["StatePlan", "compile_state_plans"]
+__all__ = ["StatePlan", "compile_state_plans", "compile_orbits"]
 
 
 class StatePlan:
@@ -44,20 +44,23 @@ class StatePlan:
     deque non-empty), ``room_checks`` guards capacity (aggregated per
     destination buffer, so double captures into one buffer are
     counted), ``captures``/``drains`` perform the word movement in the
-    generic interpreter's push-then-pop order.
+    generic interpreter's push-then-pop order.  ``blocks`` groups each
+    drive's source deque with the (deque, capacity) of every capture it
+    feeds - the structure the no-progress orbit check walks to decide
+    whether any word could move this cycle.
     """
 
     __slots__ = (
         "sources", "drains", "room_checks", "captures",
-        "n_drives", "n_captures", "spans", "starve_ok",
+        "n_drives", "n_captures", "spans", "blocks", "starve_ok",
         "stall_batchable", "counter", "counter_reset",
         "next_if_zero", "next_otherwise",
     )
 
     def __init__(
         self, sources, drains, room_checks, captures, n_drives,
-        n_captures, spans, starve_ok, stall_batchable, counter,
-        counter_reset, next_if_zero, next_otherwise,
+        n_captures, spans, blocks, starve_ok, stall_batchable,
+        counter, counter_reset, next_if_zero, next_otherwise,
     ) -> None:
         self.sources = sources
         self.drains = drains
@@ -66,6 +69,7 @@ class StatePlan:
         self.n_drives = n_drives
         self.n_captures = n_captures
         self.spans = spans
+        self.blocks = blocks
         self.starve_ok = starve_ok
         self.stall_batchable = stall_batchable
         self.counter = counter
@@ -162,6 +166,16 @@ def _compile_state(
         n_drives=len(source_buffers),
         n_captures=len(captures),
         spans=spans,
+        blocks=tuple(
+            (
+                source_buffers[drive_index][1]._words,
+                tuple(
+                    (read_ports[dst]._words, read_ports[dst].capacity)
+                    for dst in drive_destinations[drive_index]
+                ),
+            )
+            for drive_index in range(len(source_buffers))
+        ),
         starve_ok=starve_ok,
         # A starved permissive self-loop repeats one pure stall cycle:
         # engines may batch those arithmetically (state, counters, and
@@ -192,3 +206,48 @@ def compile_state_plans(
         )
         for index, state in enumerate(program.states)
     )
+
+
+def compile_orbits(program, plans) -> tuple:
+    """Per-state closed orbit of unconditional transitions, or None.
+
+    ``orbits[s]`` is the tuple of state indexes the machine visits
+    starting from ``s`` along ``next_otherwise`` links until it
+    returns to ``s`` - provided every state on the walk is *orbit
+    eligible*: it has a compiled plan, tests no counter (so the walk
+    is the machine's only possible trajectory and visits no counter
+    state), and either moves no words at all or is permissive about
+    starvation and backpressure.  Inside such an orbit a cycle where
+    no capture can land (every driving source empty, or every fed
+    destination full) provably repeats: the state pointer walks the
+    orbit, no buffer changes, and only ``cycles``/``blocked_cycles``
+    and the bus traffic counters advance - which is what lets an
+    engine settle a whole span of them arithmetically
+    (:meth:`~repro.arch.dou.Dou.fast_stall_orbit`).  The single-state
+    permissive self-loop of ``stall_batchable`` is the length-1 case.
+    """
+    states = program.states
+    eligible = []
+    for index, state in enumerate(states):
+        plan = plans[index]
+        eligible.append(
+            plan is not None
+            and state.counter is None
+            and (plan.n_drives == 0 or plan.starve_ok)
+        )
+    orbits = []
+    for index in range(len(states)):
+        if not eligible[index]:
+            orbits.append(None)
+            continue
+        walk = [index]
+        cursor = states[index].next_otherwise
+        closed = True
+        while cursor != index:
+            if not eligible[cursor] or len(walk) >= len(states):
+                closed = False
+                break
+            walk.append(cursor)
+            cursor = states[cursor].next_otherwise
+        orbits.append(tuple(walk) if closed else None)
+    return tuple(orbits)

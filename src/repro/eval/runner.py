@@ -9,6 +9,7 @@ Options::
     python -m repro.eval.runner --measured           # sim-driven power
     python -m repro.eval.runner --dvfs               # governor eval
     python -m repro.eval.runner --coordinated        # pipeline eval
+    python -m repro.eval.runner --engines --profile  # engine bench
 
 Experiments are independent pure functions of the model, so they
 render concurrently through :func:`repro.sim.batch.parallel_map`.
@@ -34,8 +35,12 @@ governed run bit-identical across engines, and emits
 ``--engines`` times every benchmark workload under the reference and
 compiled engines (:mod:`repro.eval.engines`), asserts bit-identical
 statistics, and emits ``BENCH_engine.json`` with per-workload wall
-clocks and speedups - the compiled fabric's perf trajectory.
-``BENCH_SMOKE=1`` shrinks the workload sizes for CI.
+clocks and speedups - the compiled fabric's perf trajectory.  On
+full-size runs the recorded per-workload speedup floors are enforced
+(the process exits non-zero below a floor); ``BENCH_SMOKE=1`` shrinks
+the workload sizes for CI and disables floor enforcement.  Add
+``--profile`` for per-phase wall-clock attribution (compile, dense
+ticks, batched jumps, settlement, drain) in the JSON payload.
 """
 
 from __future__ import annotations
@@ -172,10 +177,19 @@ def main(argv: list | None = None) -> None:
     parser.add_argument(
         "--engines", action="store_true",
         help="time every benchmark workload under the reference and "
-             "compiled engines, assert bit-identical statistics, and "
-             "emit BENCH_engine.json",
+             "compiled engines, assert bit-identical statistics, "
+             "enforce the recorded speedup floors on full-size runs, "
+             "and emit BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="with --engines: add one instrumented compiled run per "
+             "workload and attach its per-phase wall-clock "
+             "attribution to BENCH_engine.json",
     )
     args = parser.parse_args(argv)
+    if args.profile and not args.engines:
+        parser.error("--profile only applies to --engines")
     exclusive = [
         name for name, chosen in (
             ("--measured", args.measured),
@@ -214,11 +228,20 @@ def main(argv: list | None = None) -> None:
             parser.error("--engines times workloads sequentially so "
                          "wall clocks are comparable; --jobs does "
                          "not apply")
-        evaluations = engines.evaluate_all()
+        evaluations = engines.evaluate_all(profile=args.profile)
         payload = engines.bench_payload(evaluations)
         print(engines.render(evaluations))
         target = engines.write_bench(args.output or ".", payload)
         print(f"wrote {target}")
+        failed = engines.below_floor(evaluations)
+        if failed:
+            floors = ", ".join(
+                f"{key} < {engines.SPEEDUP_FLOORS[key]}x"
+                for key in failed
+            )
+            raise SystemExit(
+                f"speedup below recorded floor: {floors}"
+            )
         return
     if args.dvfs:
         from repro.eval import dvfs

@@ -37,10 +37,12 @@ Engines only require the :class:`~repro.arch.chip.Chip` duck type:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.arch.chip import Chip
+from repro.arch.chip import STALLED, Chip
+from repro.arch.column_exec import compile_column_runner
 from repro.sim.stats import SimulationStats, collect
 
 #: Default run budget in reference ticks.  Exhausting it raises
@@ -255,6 +257,7 @@ class CompiledEngine(Engine):
 
     def __init__(self, chip: Chip, observers: tuple = ()) -> None:
         super().__init__(chip, observers)
+        compile_start = perf_counter()
         #: divider tuple -> compiled _ClockPlan
         self._plans: dict = {}
         dous = [column.dou for column in chip.columns]
@@ -270,6 +273,52 @@ class CompiledEngine(Engine):
             if not dou.program.is_inert()
         ]
         self._refresh_demotable()
+        #: per-column compute-run pre-executors (None = reference
+        #: fetch only) and the count of upcoming clock edges each
+        #: column has already executed through its runner.
+        self._runners = tuple(
+            compile_column_runner(column) for column in chip.columns
+        )
+        self._credits = [0] * len(chip.columns)
+        #: wall-clock attribution is collected only when
+        #: ``profile_enabled`` is set; the event counters are always
+        #: maintained (they sit off the per-tick hot path).
+        self.profile_enabled = False
+        self._profile = {
+            "compile_s": perf_counter() - compile_start,
+            "dense_s": 0.0,
+            "sparse_s": 0.0,
+            "settle_s": 0.0,
+            "drain_s": 0.0,
+            "dense_ticks": 0,
+            "batch_events": 0,
+            "batched_ticks": 0,
+            "sparse_steps": 0,
+            "parked_edges": 0,
+        }
+
+    def profile_snapshot(self) -> dict:
+        """Phase timings and event counters for ``--profile`` runs.
+
+        Timing keys are populated only when :attr:`profile_enabled`
+        was set before the run; counter keys are always exact.  The
+        runner aggregate folds in every column's pre-execution
+        statistics (calls, edges consumed, vectorized batches).
+        """
+        data = dict(self._profile)
+        calls = edges = batches = iterations = 0
+        for runner in self._runners:
+            if runner is None:
+                continue
+            calls += runner.calls
+            edges += runner.edges
+            batches += runner.vector_batches
+            iterations += runner.vector_iterations
+        data["runner_calls"] = calls
+        data["runner_edges"] = edges
+        data["vector_batches"] = batches
+        data["vector_iterations"] = iterations
+        return data
 
     def _refresh_demotable(self) -> None:
         self._demotable = any(
@@ -360,47 +409,94 @@ class CompiledEngine(Engine):
         ]
         dou_cycles = [dou.cycles for dou in self._all_dous]
         self._demote_quiescent()
+        # Touch the plan cache even on sparse windows: one compiled
+        # plan per operating point the run visits is part of the
+        # engine's contract (and what the epoch layer's cache tests
+        # pin down).
+        self._plan()
+        profiling = self.profile_enabled
+        mark = perf_counter() if profiling else 0.0
         if self._stepped:
             end = self._dense_until(start, limit)
+            phase = "dense_s"
         else:
             end = self._sparse_until(start, limit)
+            phase = "sparse_s"
+        if profiling:
+            now = perf_counter()
+            self._profile[phase] += now - mark
+            mark = now
         self._settle_window(start, end, initial_cycles, dou_cycles)
+        if profiling:
+            self._profile["settle_s"] += perf_counter() - mark
         chip.reference_ticks = end
         return end
 
     def _sparse_until(self, start: int, limit: int) -> int:
-        """No DOU to step: jump from live edge to live edge."""
+        """No DOU to step: settle each live column independently.
+
+        With every DOU demoted or inert, no word can cross a domain
+        boundary for the rest of the window, so columns cannot
+        interact and each advances over its private edge schedule in
+        one pass: edges the column runner has pre-executed burn in
+        O(1), compiled compute runs batch through the runner, and a
+        column that blocks on a comm buffer is charged all remaining
+        stall edges in closed form (nothing can ever unblock it).
+        Returns the tick at which the reference loop would observe
+        all-halted, or ``limit``.
+        """
         chip = self.chip
         columns = chip.columns
         gates = chip.clock_gate_until
-        plan = self._plan()
-        period = plan.period
-        sparse_steps = plan.sparse_steps
-        max_gate = max(gates)
-        live = sum(not column.halted for column in columns)
-        tick = start
-        while live and tick < limit:
-            delta, edge_indexes = sparse_steps[tick % period]
-            jump = tick + delta
-            if jump >= limit:
-                return limit
-            if jump >= max_gate:
-                for index in edge_indexes:
-                    column = columns[index]
-                    if not column.halted:
-                        column.step_tile_clock()
-                        if column.halted:
-                            live -= 1
-            else:
-                for index in edge_indexes:
-                    column = columns[index]
-                    if column.halted or jump < gates[index]:
+        clock = chip.clock
+        dividers = clock.dividers
+        credits = self._credits
+        runners = self._runners
+        profile = self._profile
+        live = 0
+        last_halt = -1
+        for cindex, column in enumerate(columns):
+            if column.halted:
+                continue
+            live += 1
+            divider = dividers[cindex]
+            base = max(start, gates[cindex])
+            tick = base + (-base) % divider
+            runner = runners[cindex]
+            while tick < limit:
+                remaining = (limit - tick + divider - 1) // divider
+                credit = credits[cindex]
+                if credit:
+                    if credit > remaining:
+                        credit = remaining
+                    credits[cindex] -= credit
+                    tick += credit * divider
+                    continue
+                if runner is not None:
+                    consumed = runner.run_edges(remaining)
+                    if consumed:
+                        tick += consumed * divider
                         continue
-                    column.step_tile_clock()
-                    if column.halted:
-                        live -= 1
-            tick = jump + 1
-        return tick if live == 0 else limit
+                outcome = column.step_tile_clock()
+                profile["sparse_steps"] += 1
+                if column.halted:
+                    live -= 1
+                    if tick > last_halt:
+                        last_halt = tick
+                    break
+                if outcome == STALLED:
+                    # A comm stall with no live DOU repeats forever:
+                    # charge every remaining edge of the window.
+                    owed = clock.edges_in(cindex, tick + 1, limit)
+                    if owed:
+                        column.tile_cycles += owed
+                        column.comm_stalls += owed
+                        profile["parked_edges"] += owed
+                    break
+                tick += divider
+        if live == 0:
+            return last_halt + 1 if last_halt >= 0 else start
+        return limit
 
     def _dense_until(self, start: int, limit: int) -> int:
         """Some DOU moves data: walk the compiled hyperperiod trace.
@@ -409,11 +505,26 @@ class CompiledEngine(Engine):
         per-tick gate checks; the steady-state segment walks the
         prebound edge-object table with an incrementing offset (no
         modulo, no gate test, no halted-edge re-entry after the
-        filtered check) and batches edge-free gaps in which every
-        stepped DOU sits in a starved self-loop.  Segment boundaries
-        double as quiescence-demotion checkpoints; when the last
-        stepped DOU demotes, the window degrades to the sparse jump
-        loop.
+        filtered check), batches no-progress gaps, and pre-executes
+        compute runs.  Two batching mechanisms remove the per-tick
+        loop in steady state:
+
+        * **Orbit batching** - when every stepped DOU sits in a
+          closed no-progress orbit (starved, fully backpressured, or
+          idle; :meth:`~repro.arch.dou.Dou.stall_orbit`), no buffer
+          can change until a progressing column edge executes, so the
+          whole span through the next such edge settles
+          arithmetically - including the edges of columns parked on a
+          blocked SEND or RECV, which are charged as comm stalls.
+        * **Run crediting** - at a live column's edge, the column
+          runner pre-executes as many upcoming compute edges as the
+          program allows; the column is then credited those edges,
+          which burn in O(1) as their ticks pass (or inside an orbit
+          jump).
+
+        Segment boundaries double as quiescence-demotion checkpoints;
+        when the last stepped DOU demotes, the window degrades to the
+        sparse per-column loop.
         """
         chip = self.chip
         columns = chip.columns
@@ -427,6 +538,9 @@ class CompiledEngine(Engine):
         max_gate = max(gates)
         check_ticks = max(period, self.DEMOTION_CHECK_TICKS)
         all_dous = self._all_dous
+        credits = self._credits
+        runners = self._runners
+        profile = self._profile
         live = sum(not column.halted for column in columns)
         tick = start
         while live and tick < limit:
@@ -453,68 +567,130 @@ class CompiledEngine(Engine):
                     tick += 1
                 continue
             offset = tick % period
+            stepped_ticks = 0
+            moved = 0
             while live and tick < segment_end:
-                # When every stepped DOU sits in a starved self-loop,
-                # no buffer can change until a *progressing* column
-                # edge executes: DOU cycles are pure stalls (DOUs step
-                # before columns within a tick, so the edge tick's DOU
-                # cycles are stalls too), and a column blocked on RECV
-                # stays blocked (only a DOU capture could feed it).
-                # The whole span through the next progressing edge
-                # settles in one arithmetic batch.
-                for dou in dous:
-                    if not dou.starved_self_loop():
-                        break
+                # Attempt an orbit batch only after a tick in which no
+                # word moved (a no-progress orbit implies one), so the
+                # classification never taxes the busy steady state.
+                if moved == 0:
+                    batch = []
+                    for dou in dous:
+                        effects = dou.stall_orbit()
+                        if effects is None:
+                            batch = None
+                            break
+                        batch.append(effects)
                 else:
+                    batch = None
+                if batch is not None:
                     jump = segment_end
-                    blocked = 0  # bitmask of RECV-parked columns
+                    parked = 0  # bitmask of comm-parked columns
                     for cindex, column in enumerate(columns):
                         if column.halted:
                             continue
-                        if column.blocked_on_recv():
-                            blocked |= 1 << cindex
+                        credit = credits[cindex]
+                        if credit == 0 and column.parked_on_comm():
+                            parked |= 1 << cindex
                             continue
-                        due = tick + (-tick) % dividers[cindex]
+                        divider = dividers[cindex]
+                        due = (
+                            tick + (-tick) % divider
+                            + credit * divider
+                        )
                         if due < jump:
                             jump = due
-                    if jump < segment_end:
-                        span_end = jump + 1  # edge executes at jump
-                    else:
-                        jump = None  # every live column is parked (or
-                        span_end = segment_end  # the checkpoint cuts in)
-                    stall = span_end - tick
-                    for dou in dous:
-                        dou.fast_stall(stall)
-                    if blocked:
-                        for cindex, column in enumerate(columns):
-                            if blocked >> cindex & 1:
-                                owed = clock.edges_in(
-                                    cindex, tick, span_end
-                                )
-                                if owed:
-                                    column.tile_cycles += owed
-                                    column.comm_stalls += owed
-                    if jump is not None:
-                        for column in edge_objs[jump % period]:
-                            if not (column.halted
-                                    or blocked >> column.index & 1):
-                                column.step_tile_clock()
-                                if column.halted:
-                                    live -= 1
-                    tick = span_end
-                    offset = tick % period
-                    continue
-                for dou in dous:
-                    dou.step()
-                for column in edge_objs[offset]:
-                    if not column.halted:
-                        column.step_tile_clock()
+                    # The freeze proof holds through the DOU steps AT
+                    # ``jump`` as well: no buffer changed in
+                    # [tick, jump), so the bus cycle at ``jump`` is one
+                    # more orbit stall, and the due edges then execute
+                    # inside this event (reference order: buses first,
+                    # then due columns).  Only when the jump hits the
+                    # segment boundary does the event stop short of an
+                    # edge.  Parked columns owe one comm-stall edge per
+                    # skipped edge, credited columns burn their
+                    # pre-executed edges, and no other column has an
+                    # edge before the jump.
+                    run_edge = jump < segment_end
+                    end = jump + 1 if run_edge else jump
+                    span = end - tick
+                    for position, dou in enumerate(dous):
+                        dou.fast_stall_orbit(batch[position], span)
+                    for cindex, column in enumerate(columns):
                         if column.halted:
-                            live -= 1
+                            continue
+                        if credits[cindex]:
+                            burn = clock.edges_in(cindex, tick, jump)
+                            if burn:
+                                credits[cindex] -= burn
+                        elif parked >> cindex & 1:
+                            owed = clock.edges_in(cindex, tick, end)
+                            if owed:
+                                column.tile_cycles += owed
+                                column.comm_stalls += owed
+                                profile["parked_edges"] += owed
+                    if run_edge:
+                        for column in edge_objs[jump % period]:
+                            if column.halted:
+                                continue
+                            cindex = column.index
+                            if parked >> cindex & 1:
+                                continue  # stall already settled
+                            credit = credits[cindex]
+                            if credit:
+                                credits[cindex] = credit - 1
+                                continue
+                            runner = runners[cindex]
+                            if runner is not None:
+                                divider = dividers[cindex]
+                                consumed = runner.run_edges(
+                                    (limit - jump + divider - 1)
+                                    // divider
+                                )
+                                if consumed:
+                                    credits[cindex] = consumed - 1
+                                    continue
+                            column.step_tile_clock()
+                            if column.halted:
+                                live -= 1
+                    profile["batch_events"] += 1
+                    profile["batched_ticks"] += span
+                    tick = end
+                    offset = tick % period
+                    moved = 0
+                    continue
+                moved = 0
+                for dou in dous:
+                    moved += dou.step()
+                for column in edge_objs[offset]:
+                    if column.halted:
+                        continue
+                    cindex = column.index
+                    credit = credits[cindex]
+                    if credit:
+                        credits[cindex] = credit - 1
+                        continue
+                    runner = runners[cindex]
+                    if runner is not None:
+                        # tick is this column's edge (tick % d == 0),
+                        # so the edges left in the window are a pure
+                        # ceiling division.
+                        divider = dividers[cindex]
+                        consumed = runner.run_edges(
+                            (limit - tick + divider - 1) // divider
+                        )
+                        if consumed:
+                            credits[cindex] = consumed - 1
+                            continue
+                    column.step_tile_clock()
+                    if column.halted:
+                        live -= 1
+                stepped_ticks += 1
                 tick += 1
                 offset += 1
                 if offset == period:
                     offset = 0
+            profile["dense_ticks"] += stepped_ticks
             if self._demotable and tick < limit:
                 self._demote_quiescent()
         return tick
@@ -570,6 +746,8 @@ class CompiledEngine(Engine):
         its drain cycles, the owed bubble edges, and every other
         non-stepped DOU settle arithmetically.
         """
+        profiling = self.profile_enabled
+        mark = perf_counter() if profiling else 0.0
         chip = self.chip
         start = chip.reference_ticks
         initial_cycles = [
@@ -586,6 +764,8 @@ class CompiledEngine(Engine):
             start, start + ticks, initial_cycles, dou_cycles
         )
         chip.reference_ticks = start + ticks
+        if profiling:
+            self._profile["drain_s"] += perf_counter() - mark
 
 
 #: Engine registry by name - the lookup behind :func:`create_engine`
@@ -598,6 +778,17 @@ ENGINES = {
 
 #: Name that resolves to the fastest engine safe for the run shape.
 AUTO_ENGINE = "auto"
+
+#: Profiling hook for callers that never see the engine object.  The
+#: kernel and scenario runners build their simulators internally, so
+#: a benchmark driver that wants ``profile_snapshot()`` after a run
+#: sets this to a list before invoking the workload:  every
+#: :class:`CompiledEngine` built through :func:`create_engine` while
+#: it is set has ``profile_enabled`` switched on and is appended, and
+#: the driver reads the snapshots off the registered engines when the
+#: workload returns.  Owned by ``repro.eval.engines``; not
+#: thread-safe; ``None`` (the default) costs the hot path nothing.
+PROFILE_REGISTRY: list | None = None
 
 
 def create_engine(
@@ -625,4 +816,8 @@ def create_engine(
         raise ConfigurationError(
             f"unknown engine {name!r}; available: {sorted(ENGINES)}"
         ) from None
-    return factory(chip, observers)
+    engine = factory(chip, observers)
+    if PROFILE_REGISTRY is not None and isinstance(engine, CompiledEngine):
+        engine.profile_enabled = True
+        PROFILE_REGISTRY.append(engine)
+    return engine

@@ -1,0 +1,91 @@
+"""The baseline-compare tool: regression gates on BENCH_engine.json."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).parents[2] / "tools" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _TOOL)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _artifact(speedups, smoke=True):
+    return {
+        "artifact": "BENCH_engine",
+        "smoke": smoke,
+        "workloads": {
+            key: {"speedup": speedup}
+            for key, speedup in speedups.items()
+        },
+    }
+
+
+def test_within_tolerance_passes(capsys):
+    baseline = _artifact({"fir": 3.0, "ddc": 2.0})
+    fresh = _artifact({"fir": 2.5, "ddc": 2.4})  # -17% and +20%
+    assert bench_compare.compare(fresh, baseline, 0.2) == []
+    out = capsys.readouterr().out
+    assert "ok" in out and "REGRESSED" not in out
+
+
+def test_regression_fails(capsys):
+    baseline = _artifact({"fir": 3.0})
+    fresh = _artifact({"fir": 2.0})  # -33%
+    failures = bench_compare.compare(fresh, baseline, 0.2)
+    assert len(failures) == 1 and "fir" in failures[0]
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_missing_workload_fails(capsys):
+    failures = bench_compare.compare(
+        _artifact({}), _artifact({"fir": 3.0}), 0.2
+    )
+    assert any("missing" in f for f in failures)
+
+
+def test_smoke_mismatch_fails(capsys):
+    failures = bench_compare.compare(
+        _artifact({"fir": 3.0}, smoke=False),
+        _artifact({"fir": 3.0}, smoke=True),
+        0.2,
+    )
+    assert any("smoke" in f for f in failures)
+
+
+def test_improvements_and_extras_never_fail(capsys):
+    baseline = _artifact({"fir": 3.0})
+    fresh = _artifact({"fir": 30.0, "new_workload": 1.0})
+    assert bench_compare.compare(fresh, baseline, 0.2) == []
+    assert "unchecked: new_workload" in capsys.readouterr().out
+
+
+def test_committed_baseline_is_valid():
+    """The checked-in baseline parses and covers every workload."""
+    from repro.eval.engines import WORKLOADS
+
+    baseline = json.loads(
+        Path(bench_compare.DEFAULT_BASELINE).read_text()
+    )
+    assert baseline["artifact"] == "BENCH_engine"
+    assert baseline["smoke"] is True  # CI compares smoke runs
+    assert set(baseline["workloads"]) == set(WORKLOADS)
+    for entry in baseline["workloads"].values():
+        assert entry["speedup"] > 0
+
+
+def test_cli_exit_codes(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(_artifact({"fir": 3.0})))
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_artifact({"fir": 3.1})))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(_artifact({"fir": 1.0})))
+    assert bench_compare.main(
+        [str(good), "--baseline", str(baseline_path)]
+    ) == 0
+    assert bench_compare.main(
+        [str(bad), "--baseline", str(baseline_path)]
+    ) == 1

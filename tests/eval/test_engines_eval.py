@@ -73,6 +73,85 @@ def test_cli_engines_rejects_conflicting_flags(capsys):
         main(["--engines", "--experiment", "table1"])
     with pytest.raises(SystemExit):
         main(["--engines", "--jobs", "2"])
+    with pytest.raises(SystemExit):
+        main(["--profile"])  # --profile needs --engines
+
+
+# ----------------------------------------------------------------------
+# recorded floors
+# ----------------------------------------------------------------------
+def _fake_evaluation(reference_s, compiled_s):
+    class _Stats:
+        reference_ticks = 100
+        total_bus_words = 10
+
+    return {
+        "timings": {"reference": reference_s, "compiled": compiled_s},
+        "stats": _Stats(),
+    }
+
+
+def test_below_floor_skipped_under_smoke():
+    # fir floor is 3.5; a 1.0x evaluation is below it, but smoke runs
+    # never enforce floors (they measure fixed costs, not striding).
+    evaluations = {"fir": _fake_evaluation(1.0, 1.0)}
+    assert engines.below_floor(evaluations) == []
+
+
+def test_below_floor_detects_regression(monkeypatch):
+    monkeypatch.delenv("BENCH_SMOKE", raising=False)
+    evaluations = {
+        "fir": _fake_evaluation(10.0, 1.0),       # 10x: fine
+        "ddc_pipeline": _fake_evaluation(2.0, 1.0),  # 2x < 3.0 floor
+    }
+    assert engines.below_floor(evaluations) == ["ddc_pipeline"]
+    payload = engines.bench_payload(evaluations)
+    assert payload["workloads"]["fir"]["below_floor"] is False
+    assert payload["workloads"]["ddc_pipeline"]["below_floor"] is True
+    assert payload["workloads"]["ddc_pipeline"]["floor"] == 3.0
+    assert "[below floor]" in engines.render(evaluations)
+
+
+def test_every_workload_has_a_floor_of_at_least_3x():
+    """The tentpole contract: every workload >= 3x, floors included."""
+    assert set(engines.SPEEDUP_FLOORS) == set(engines.WORKLOADS)
+    assert all(floor >= 3.0 for floor in
+               engines.SPEEDUP_FLOORS.values())
+
+
+# ----------------------------------------------------------------------
+# --profile attribution
+# ----------------------------------------------------------------------
+def test_profile_attaches_phase_attribution(tmp_path):
+    evaluation = engines.evaluate_workload(
+        "ddc_pipeline", repeats=1, profile=True
+    )
+    profile = evaluation["profile"]
+    assert profile["engines"] == 1
+    assert profile["compile_s"] > 0
+    assert profile["dense_s"] > 0
+    assert profile["batch_events"] > 0
+    assert profile["parked_edges"] > 0
+    payload = engines.bench_payload({"ddc_pipeline": evaluation})
+    entry = payload["workloads"]["ddc_pipeline"]
+    assert entry["profile"]["batched_ticks"] > 0
+    # The payload is JSON-serializable with the profile attached.
+    json.dumps(payload)
+
+
+def test_profile_registry_is_cleared_after_use():
+    from repro.sim import engine as engine_module
+
+    engines.evaluate_workload("fir", repeats=1, profile=True)
+    assert engine_module.PROFILE_REGISTRY is None
+
+
+def test_cli_engines_profile_flag(tmp_path, capsys):
+    main(["--engines", "--profile", "--output", str(tmp_path)])
+    payload = json.loads((tmp_path / "BENCH_engine.json").read_text())
+    for entry in payload["workloads"].values():
+        assert "profile" in entry
+        assert entry["profile"]["runner_calls"] >= 0
 
 
 def test_ddc_stream_chip_is_live_and_rate_matched():

@@ -1,0 +1,125 @@
+"""Compare a fresh BENCH_engine.json against the committed baseline.
+
+CI regenerates ``BENCH_engine.json`` on every commit (the smoke step
+runs ``python -m repro.eval.runner --engines --profile``) but the
+artifact itself is gitignored, so without a committed anchor a
+gradual perf regression would only be visible by trawling artifact
+history.  This tool diffs the fresh artifact against
+``benchmarks/engine_baseline.json`` and fails when any workload's
+speedup ratio regressed by more than the tolerance (default 20%).
+
+Usage::
+
+    python tools/bench_compare.py BENCH_engine.json
+    python tools/bench_compare.py BENCH_engine.json \
+        --baseline benchmarks/engine_baseline.json --tolerance 0.2
+
+Rules:
+
+* the ``smoke`` flags must match - smoke and full-size ratios measure
+  different things (smoke runs are dominated by per-run fixed costs)
+  and must never be compared;
+* every workload in the baseline must appear in the fresh artifact
+  (a silently dropped workload is a regression in coverage);
+* a fresh speedup below ``(1 - tolerance) * baseline`` fails.
+  Improvements are reported but never fail - refresh the baseline by
+  copying a representative artifact over it when the trajectory moves
+  up for good.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent.parent / "benchmarks" \
+    / "engine_baseline.json"
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """Returns a list of failure strings (empty = pass), prints a table."""
+    failures = []
+    for artifact in (fresh, baseline):
+        if artifact.get("artifact") != "BENCH_engine":
+            failures.append(
+                f"not a BENCH_engine artifact: "
+                f"{artifact.get('artifact')!r}"
+            )
+            return failures
+    if fresh.get("smoke") != baseline.get("smoke"):
+        failures.append(
+            f"smoke flags differ (fresh={fresh.get('smoke')}, "
+            f"baseline={baseline.get('smoke')}); smoke and full-size "
+            f"ratios are not comparable"
+        )
+        return failures
+    fresh_workloads = fresh.get("workloads", {})
+    baseline_workloads = baseline.get("workloads", {})
+    header = (
+        f"{'workload':<16} {'baseline':>9} {'fresh':>9} "
+        f"{'change':>8}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    floor_fraction = 1.0 - tolerance
+    for key, base_entry in baseline_workloads.items():
+        fresh_entry = fresh_workloads.get(key)
+        if fresh_entry is None:
+            failures.append(f"workload {key!r} missing from fresh run")
+            print(f"{key:<16} {base_entry['speedup']:>8.2f}x "
+                  f"{'-':>9} {'-':>8}  MISSING")
+            continue
+        base_speedup = base_entry["speedup"]
+        fresh_speedup = fresh_entry["speedup"]
+        change = (fresh_speedup - base_speedup) / base_speedup
+        regressed = fresh_speedup < floor_fraction * base_speedup
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{key:<16} {base_speedup:>8.2f}x {fresh_speedup:>8.2f}x "
+              f"{change:>+7.1%}  {verdict}")
+        if regressed:
+            failures.append(
+                f"{key}: speedup {fresh_speedup:.2f}x is more than "
+                f"{tolerance:.0%} below the baseline "
+                f"{base_speedup:.2f}x"
+            )
+    extra = sorted(set(fresh_workloads) - set(baseline_workloads))
+    if extra:
+        print(f"(not in baseline, unchecked: {', '.join(extra)})")
+    return failures
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on engine-benchmark speedup regressions "
+                    "against the committed baseline."
+    )
+    parser.add_argument(
+        "fresh", metavar="BENCH_ENGINE_JSON",
+        help="the freshly generated BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE), metavar="JSON",
+        help="committed baseline artifact "
+             "(default: benchmarks/engine_baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRACTION",
+        help="allowed fractional ratio drop before failing "
+             "(default: 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = compare(fresh, baseline, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all workloads within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
