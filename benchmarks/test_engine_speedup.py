@@ -17,14 +17,16 @@ Four workloads bracket the engine's operating range:
 * the DDC front-end pipeline (two columns at 24/40 MHz off 600 MHz,
   live compiled DOU schedules on both vertical buses plus the
   horizontal bus) - the dense-mode acceptance case: per-state DOU
-  plans, multi-state orbit batching, and comm-parked column batching
-  (both RECV and SEND sides) must together beat the reference tick
-  loop >= 2.5x even though every engine shares the same fast
-  ``Dou.step`` (the hard 3x contract lives in the runner's recorded
-  floors, where full-size best-of repeats make it reliable);
+  plans, multi-state orbit batching, comm-parked column batching
+  (both RECV and SEND sides), and cross-column lockstep rounds must
+  together beat the reference tick loop >= 4.5x (the hard 6x
+  contract lives in the runner's recorded floors, where full-size
+  best-of repeats make it reliable);
 * the governed WLAN burst scenario - the full control stack (epoch
-  windows, occupancy-PI retunes, plan-cache reuse) must carry the
-  compute-plane compilation through to a >= 3x end-to-end speedup.
+  windows, occupancy-PI retunes, plan-cache reuse, shared lockstep
+  plans across per-epoch engines) must carry the compute-plane
+  compilation through to a >= 5x end-to-end speedup (the runner
+  floor is 8x).
 
 All runs are cross-checked for bit-identical statistics before any
 timing is trusted.
@@ -116,18 +118,19 @@ def test_mixed_divider_speedup_at_least_10x():
     )
 
 
-def test_ddc_pipeline_live_dou_speedup_at_least_2_5x():
+def test_ddc_pipeline_live_dou_speedup_at_least_4_5x():
     """The dense-mode acceptance case: live DOUs on every bus.
 
     Producer and consumer columns stream through three compiled DOU
     schedules (to-port, horizontal hop, fan-out), so the old engine
     would have interpreted every DOU on every reference tick.  The
-    compiled engine must beat the tick-accurate loop >= 2.5x through
+    compiled engine must beat the tick-accurate loop >= 4.5x through
     per-state plans, multi-state orbit batching, comm-parked column
-    batching on both the RECV and SEND sides, and compiled compute
-    runs (measured ~3.0-3.7x; the bar leaves noise margin, the hard
-    3x contract is enforced by the runner's recorded floors on
-    full-size ``--engines`` runs where best-of repeats are cheap).
+    batching on both the RECV and SEND sides, compiled compute runs,
+    and lockstep round replay (measured ~6.5-7.4x; the bar leaves
+    noise margin, the hard 6x contract is enforced by the runner's
+    recorded floors on full-size ``--engines`` runs where best-of
+    repeats are cheap).
     """
     reference_s, reference = _best_of(
         REPEATS,
@@ -144,19 +147,20 @@ def test_ddc_pipeline_live_dou_speedup_at_least_2_5x():
     print(f"\nDDC pipeline (live DOUs): reference "
           f"{reference_s * 1e3:7.2f} ms, compiled "
           f"{compiled_s * 1e3:7.2f} ms -> {ratio:.2f}x")
-    assert SMOKE or ratio >= 3.0, (
+    assert SMOKE or ratio >= 4.5, (
         f"compiled engine only {ratio:.2f}x faster on the live-DOU "
-        f"DDC pipeline (need >= 3x)"
+        f"DDC pipeline (need >= 4.5x)"
     )
 
 
-def test_governed_burst_speedup_at_least_3x():
+def test_governed_burst_speedup_at_least_5x():
     """The governed end-to-end case: epochs, retunes, plan reuse.
 
     The occupancy-PI governor retunes the chip across epoch windows,
     so the compiled engine recompiles (and cache-reuses) its clock
-    plans mid-run while the compute-plane compilation keeps working
-    across retunes (measured ~5.7x).
+    plans mid-run while the compute-plane compilation and the shared
+    cross-engine lockstep plan cache keep working across retunes
+    (measured ~8.0-8.6x; the hard 8x contract is the runner floor).
     """
     from repro.workloads.dvfs import run_scenario, wlan_mcs_scenario
 
@@ -175,7 +179,7 @@ def test_governed_burst_speedup_at_least_3x():
     print(f"\ngoverned WLAN burst: reference "
           f"{reference_s * 1e3:7.2f} ms, compiled "
           f"{compiled_s * 1e3:7.2f} ms -> {ratio:.2f}x")
-    assert SMOKE or ratio >= 3.0, (
+    assert SMOKE or ratio >= 5.0, (
         f"compiled engine only {ratio:.2f}x faster on the governed "
-        f"burst scenario (need >= 3x)"
+        f"burst scenario (need >= 5x)"
     )

@@ -63,6 +63,19 @@ class CommBuffer:
             raise SimulationError(f"{self.name}: peek on empty buffer")
         return self._words[0]
 
+    def drain(self) -> int:
+        """Dequeue every queued word at once; returns the count.
+
+        Equivalent to calling :meth:`pop` until empty (the popped
+        values are discarded) - harnesses that only count produced
+        words use this instead of a per-word loop.
+        """
+        count = len(self._words)
+        if count:
+            self._words.clear()
+            self.total_popped += count
+        return count
+
     def clear(self) -> None:
         """Drop all queued words (startup/reset)."""
         self._words.clear()

@@ -604,6 +604,19 @@ class ColumnRunner:
         self.vector_batches = 0
         self.vector_iterations = 0
 
+    def comm_head(self, pc: int) -> bool:
+        """Whether ``pc`` sits on a SEND/RECV this runner can issue.
+
+        The engine's lockstep replay uses this to classify a recorded
+        runner call as *comm-headed*: its first edge carries a buffer
+        effect, so replaying it inside a batched round fuses the comm
+        edge into the batch instead of breaking the batch per call.
+        """
+        if 0 <= pc < self.program_len:
+            entry = self.dispatch[pc]
+            return entry is not None and entry[0] == _COMM
+        return False
+
     def run_edges(self, budget: int) -> int:
         """Pre-execute up to ``budget`` tile-clock edges; return count.
 

@@ -20,7 +20,11 @@ from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.arch.dou_exec import compile_orbits, compile_state_plans
+from repro.arch.dou_exec import (
+    compile_lap_plans,
+    compile_orbits,
+    compile_state_plans,
+)
 
 MAX_STATES = 128
 MAX_COUNTERS = 4
@@ -253,6 +257,9 @@ class Dou:
         # Closed unconditional-transition orbits per state: the
         # no-progress batching structure (repro.arch.dou_exec).
         self._orbits = compile_orbits(program, self._plans)
+        # Whole-lap transfer vectors per state (None = step singly):
+        # the live-orbit batching structure (repro.arch.dou_exec).
+        self._lap_plans = compile_lap_plans(self._plans, self._orbits)
         self.words_moved = 0     # successful captures (broadcast = N)
         self.words_retired = 0   # retired drives (broadcast = 1)
         self.span_words = 0.0    # sum of per-retire bus-span fractions
@@ -402,6 +409,56 @@ class Dou:
             bus.cycles_with_traffic += traffic
         orbit = self._orbits[self.state_index]
         self.state_index = orbit[rem]
+
+    def lap_plan(self, state_index: int):
+        """The whole-lap transfer vector starting at ``state_index``.
+
+        ``None`` when the state sits on no closed full-transfer orbit
+        (see :func:`~repro.arch.dou_exec.compile_lap_plans`); a plan is
+        applied with :meth:`apply_laps`.
+        """
+        return self._lap_plans[state_index]
+
+    def apply_laps(self, plan, k: int) -> bool:
+        """Settle ``k`` whole orbit laps in bulk; False = guards failed.
+
+        Exactly equivalent to ``k * plan.length`` consecutive
+        :meth:`step` calls *when every one of those steps would take
+        the full-transfer fast path* - which the aggregated guards
+        (every source holds ``>= k`` words, every destination has room
+        for ``k`` more) certify, because the orbit's states pop each
+        source and push each destination at most once per lap.  When a
+        guard fails nothing is applied and the caller must fall back
+        to single stepping; the interpreter then handles whatever the
+        truth is (partial starvation, backpressure, strict errors).
+
+        The caller must hold ``state_index`` at the state the plan was
+        compiled for; ``k`` full laps return the pointer there, so it
+        is left untouched.  Span fractions accumulate one addition per
+        retire in interpreter order - float-exact against the
+        reference.
+        """
+        for words in plan.sources:
+            if len(words) < k:
+                return False
+        for words, capacity in plan.rooms:
+            if len(words) + k > capacity:
+                return False
+        plan.apply(k)
+        ticks = plan.length * k
+        self.cycles += ticks
+        self.words_moved += plan.n_captures * k
+        self.words_retired += plan.n_drives * k
+        span = self.span_words
+        spans = plan.spans
+        for _ in range(k):
+            for value in spans:
+                span += value
+        self.span_words = span
+        bus = self.bus
+        bus.words_moved += plan.n_drives * k
+        bus.cycles_with_traffic += ticks
+        return True
 
     def _advance(self) -> None:
         state = self.state

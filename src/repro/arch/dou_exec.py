@@ -33,7 +33,12 @@ cases stay byte-for-byte identical to the uncompiled machine.
 
 from __future__ import annotations
 
-__all__ = ["StatePlan", "compile_state_plans", "compile_orbits"]
+from itertools import islice
+
+__all__ = [
+    "StatePlan", "LapPlan", "compile_state_plans", "compile_orbits",
+    "compile_lap_plans",
+]
 
 
 class StatePlan:
@@ -251,3 +256,125 @@ def compile_orbits(program, plans) -> tuple:
             cursor = states[cursor].next_otherwise
         orbits.append(tuple(walk) if closed else None)
     return tuple(orbits)
+
+
+class LapPlan:
+    """One whole orbit lap compiled into a bulk transfer vector.
+
+    Where :class:`StatePlan` compiles one state's cycle, a lap plan
+    compiles one full trip around a closed unconditional orbit in
+    which *every* state performs its complete transfer.  Under the
+    aggregated guards (every source holds at least ``k`` words, every
+    destination has room for ``k`` more), ``k`` consecutive laps move
+    exactly the words the interpreter would move tick by tick - the
+    per-buffer word *sequences* are identical, not just the counts -
+    so an engine may apply whole laps as deque bulk operations
+    (:meth:`~repro.arch.dou.Dou.apply_laps`) instead of stepping
+    ``k * len(orbit)`` dense ticks.
+
+    Exactness needs structural restrictions, enforced at compile time
+    (states whose orbit violates them simply keep ``lap_plan=None``
+    and are stepped singly):
+
+    * every orbit state transfers (``n_drives >= 1`` and every drive
+      retires) - an idle state inside the orbit would make "full lap"
+      occupancy-dependent;
+    * each source buffer is popped by at most one orbit state and
+      each destination pushed by at most one capture per lap, so a
+      bulk ``extend`` of the source's first ``k`` words reproduces the
+      interleaved per-tick push order exactly;
+    * no buffer is both a source and a destination anywhere in the
+      orbit (intra-lap feeding would change which words are eligible
+      mid-lap).
+
+    ``spans`` keeps the per-retire span values in interpreter (state,
+    then drive) order: float accumulation is order sensitive, so
+    :meth:`~repro.arch.dou.Dou.apply_laps` replays the additions one
+    lap at a time rather than multiplying.
+    """
+
+    __slots__ = (
+        "length", "captures", "drains", "sources", "rooms", "spans",
+        "n_captures", "n_drives", "words_per_lap",
+    )
+
+    def __init__(
+        self, length, captures, drains, sources, rooms, spans,
+        n_captures, n_drives,
+    ) -> None:
+        self.length = length
+        self.captures = captures
+        self.drains = drains
+        self.sources = sources
+        self.rooms = rooms
+        self.spans = spans
+        self.n_captures = n_captures
+        self.n_drives = n_drives
+        #: bus words driven per lap (== retired drives: full transfer)
+        self.words_per_lap = n_drives
+
+    def apply(self, k: int) -> None:
+        """Move ``k`` laps' words in bulk.  Guards must already hold."""
+        for dest_words, dest_buffer, src_words in self.captures:
+            dest_words.extend(islice(src_words, k))
+            dest_buffer.total_pushed += k
+        for src_words, src_buffer in self.drains:
+            for _ in range(k):
+                src_words.popleft()
+            src_buffer.total_popped += k
+
+
+def _compile_lap(plans, orbit):
+    if orbit is None:
+        return None
+    captures = []
+    drains = []
+    sources = []
+    rooms = []
+    spans = []
+    src_ids = set()
+    dest_ids = set()
+    for index in orbit:
+        plan = plans[index]
+        if plan.n_drives == 0 or plan.n_captures == 0:
+            return None  # idle orbit state: no full-transfer lap
+        pushes: dict = {}
+        for dest_words, dest_buffer, src_words in plan.captures:
+            key = id(dest_words)
+            if key in dest_ids or key in pushes:
+                return None  # one push per destination per lap
+            pushes[key] = dest_buffer
+            captures.append((dest_words, dest_buffer, src_words))
+            rooms.append((dest_words, dest_buffer.capacity))
+        dest_ids.update(pushes)
+        for src_words, src_buffer in plan.drains:
+            key = id(src_words)
+            if key in src_ids:
+                return None  # one pop per source per lap
+            src_ids.add(key)
+            drains.append((src_words, src_buffer))
+            sources.append(src_words)
+        spans.extend(plan.spans)
+    if src_ids & dest_ids:
+        return None  # a buffer fed by the orbit also feeds it
+    return LapPlan(
+        length=len(orbit),
+        captures=tuple(captures),
+        drains=tuple(drains),
+        sources=tuple(sources),
+        rooms=tuple(rooms),
+        spans=tuple(spans),
+        n_captures=len(captures),
+        n_drives=len(drains),
+    )
+
+
+def compile_lap_plans(plans, orbits) -> tuple:
+    """Per-state whole-lap transfer vectors (``None`` = step singly).
+
+    ``lap_plans[s]`` batches laps of the orbit *starting at* ``s``;
+    each member of a closed orbit gets its own rotation, so an engine
+    may start lapping from whichever state the machine currently
+    occupies.
+    """
+    return tuple(_compile_lap(plans, orbit) for orbit in orbits)

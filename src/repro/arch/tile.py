@@ -87,7 +87,14 @@ class Tile:
         """Execute one compute/memory/communication instruction."""
         op = instr.opcode
         regs = self.regs
-        if op is Opcode.NOP:
+        # RECV/SEND head the dispatch chain: streaming kernels spend
+        # almost every tile cycle in communication, so the common case
+        # should not walk the whole compute-opcode ladder first.
+        if op is Opcode.RECV:
+            regs.write(instr.dst, self.read_buffer.pop())
+        elif op is Opcode.SEND:
+            self.write_buffer.push(regs.read(instr.srcs[0]))
+        elif op is Opcode.NOP:
             pass
         elif op is Opcode.MOVI:
             regs.write(instr.dst, instr.imm)
@@ -158,10 +165,6 @@ class Tile:
             if instr.post_increment:
                 regs.write(instr.ptr, regs.read(instr.ptr) + 1)
             self.memory_accesses += 1
-        elif op is Opcode.SEND:
-            self.write_buffer.push(regs.read(instr.srcs[0]))
-        elif op is Opcode.RECV:
-            regs.write(instr.dst, self.read_buffer.pop())
         else:
             raise SimulationError(
                 f"tile {self.tile_id}: control opcode {op.value!r} "

@@ -52,26 +52,29 @@ from repro.isa.assembler import assemble
 from repro.sim.simulator import Simulator
 
 #: Best-of repetitions per (workload, engine) timing.
-REPEATS = 3
+REPEATS = 5
 
 ENGINES = ("reference", "compiled")
 
 #: Per-workload minimum compiled/reference speedup ratios.  These are
 #: the *recorded floors* the runner enforces (``--engines`` exits
 #: non-zero when a full-size run lands below its floor) - set with
-#: generous headroom below the measured trajectory (fir ~5.6x,
-#: wlan_acs ~4.1x, mixed_dividers ~43x, ddc_pipeline ~3.5x,
-#: governed_burst ~5.7x on the development machine) so only a real
-#: regression trips them, never scheduler noise.  The tighter bars
-#: live in ``benchmarks/test_engine_speedup.py``.  Smoke runs shrink
-#: the workloads until fixed costs dominate, so floors are not
-#: enforced under ``BENCH_SMOKE=1``.
+#: headroom below the measured trajectory (fir ~6.7x, wlan_acs ~4.2x,
+#: mixed_dividers ~45x, ddc_pipeline ~7x, governed_burst ~8.5x on the
+#: development machine, warm caches, interleaved best-of timing) so
+#: only a real regression trips them, never scheduler noise.  The
+#: ddc_pipeline and governed_burst floors moved 3.0 -> 6.0/8.0 with
+#: the lockstep round compiler, shared plan cache, and gated-prefix
+#: orbit batching.  The tighter bars live in
+#: ``benchmarks/test_engine_speedup.py``.  Smoke runs shrink the
+#: workloads until fixed costs dominate, so floors are not enforced
+#: under ``BENCH_SMOKE=1``.
 SPEEDUP_FLOORS = {
     "fir": 3.5,
     "wlan_acs": 3.0,
     "mixed_dividers": 10.0,
-    "ddc_pipeline": 3.0,
-    "governed_burst": 3.0,
+    "ddc_pipeline": 6.0,
+    "governed_burst": 8.0,
 }
 
 
@@ -161,14 +164,24 @@ def build_mixed_divider_chip(scale: int = 1) -> Chip:
     ])
 
 
+#: (kernel name, size) -> prebuilt Kernel description.  Building a
+#: kernel assembles its program and synthesizes its reference oracle -
+#: identical for every timed repeat and not part of either engine's
+#: work (``run_kernel`` builds a fresh chip per call and only reads
+#: the description), so it is hoisted out of the timing loop.
+_KERNELS: dict = {}
+
+
 def _run_fir(engine: str):
     from repro.kernels.base import run_kernel
     from repro.kernels.fir import build_fir_kernel
 
     windows = 6 if _smoke() else 24
-    return run_kernel(
-        build_fir_kernel(windows=windows), engine=engine
-    ).stats
+    kernel = _KERNELS.get(("fir", windows))
+    if kernel is None:
+        kernel = build_fir_kernel(windows=windows)
+        _KERNELS[("fir", windows)] = kernel
+    return run_kernel(kernel, engine=engine).stats
 
 
 def _run_wlan_acs(engine: str):
@@ -176,9 +189,11 @@ def _run_wlan_acs(engine: str):
     from repro.kernels.viterbi_acs import build_acs_kernel
 
     steps = 8 if _smoke() else 64
-    return run_kernel(
-        build_acs_kernel(steps=steps), engine=engine
-    ).stats
+    kernel = _KERNELS.get(("wlan_acs", steps))
+    if kernel is None:
+        kernel = build_acs_kernel(steps=steps)
+        _KERNELS[("wlan_acs", steps)] = kernel
+    return run_kernel(kernel, engine=engine).stats
 
 
 def _run_mixed_dividers(engine: str):
@@ -192,11 +207,22 @@ def _run_ddc_pipeline(engine: str):
     return Simulator(chip, engine=engine).run(max_ticks=1_000_000)
 
 
+#: frame count -> prebuilt scenario.  ``wlan_mcs_scenario`` fits cubic
+#: splines over the MCS trace; that construction is identical for every
+#: timed repeat and is not part of either engine's work, so it is
+#: hoisted out of the timing loop (``run_scenario`` builds a fresh chip
+#: and harness per call and never mutates the scenario).
+_SCENARIOS: dict = {}
+
+
 def _run_governed_burst(engine: str):
     from repro.workloads.dvfs import run_scenario, wlan_mcs_scenario
 
     frames = 6 if _smoke() else 16
-    scenario = wlan_mcs_scenario(frames=frames)
+    scenario = _SCENARIOS.get(frames)
+    if scenario is None:
+        scenario = wlan_mcs_scenario(frames=frames)
+        _SCENARIOS[frames] = scenario
     result = run_scenario(scenario, "occupancy_pi", engine=engine)
     return result.run.stats
 
@@ -270,17 +296,28 @@ def evaluate_workload(
     after the timing loops and its phase attribution attached.
     """
     _, runner = WORKLOADS[key]
-    timings = {}
+    timings = {engine: float("inf") for engine in ENGINES}
     stats = {}
+    # One untimed warm-up per engine (imports, kernel/scenario and
+    # plan caches), then the timed repeats interleave the engines so
+    # CPU frequency drift over the loop biases both sides of the
+    # ratio equally instead of whichever engine happened to run last.
+    # Each timed run is preceded by an untimed run of the same engine:
+    # interleaving means the other engine just evicted this engine's
+    # hot paths from the instruction cache and branch predictors, and
+    # the back-to-back pair re-warms them so the measurement reflects
+    # the engine, not the alternation.
     for engine in ENGINES:
-        best = float("inf")
-        result = None
-        for _ in range(repeats):
+        stats[engine] = runner(engine)
+    for _ in range(repeats):
+        for engine in ENGINES:
+            runner(engine)
             start = time.perf_counter()
             result = runner(engine)
-            best = min(best, time.perf_counter() - start)
-        timings[engine] = best
-        stats[engine] = result
+            timings[engine] = min(
+                timings[engine], time.perf_counter() - start
+            )
+            stats[engine] = result
     if stats["compiled"] != stats["reference"]:
         raise AssertionError(
             f"{key}: compiled engine statistics diverge from the "
@@ -381,6 +418,49 @@ def render(evaluations: dict | None = None) -> str:
             f"{compiled_s * 1e3:>12.2f} "
             f"{reference_s / compiled_s:>7.2f}x  "
             f"{WORKLOADS[key][0]}{flag}"
+        )
+    return "\n".join(lines)
+
+
+# Headline compiled-engine counters for the --profile table, as
+# (column label, profile_snapshot field) pairs.
+_PROFILE_COLUMNS = (
+    ("lockstep", "lockstep_batches"),
+    ("orbits", "orbit_laps"),
+    ("fused", "fused_runner_calls"),
+    ("events", "batch_events"),
+    ("batched", "batched_ticks"),
+    ("dense", "dense_ticks"),
+    ("parked", "parked_edges"),
+    ("runs", "runner_calls"),
+)
+
+
+def render_profile(evaluations: dict) -> str:
+    """Per-workload compiled-engine profile counter table.
+
+    Empty when no evaluation carries a profile (the runner was invoked
+    without ``--profile``).  The runner prints this *before* the floor
+    check can raise, so a failing floor still ships the counters
+    needed to diagnose which striding tier stopped engaging.
+    """
+    profiled = {
+        key: evaluation["profile"]
+        for key, evaluation in evaluations.items()
+        if "profile" in evaluation
+    }
+    if not profiled:
+        return ""
+    header = f"{'workload':<16}" + "".join(
+        f" {label:>9}" for label, _ in _PROFILE_COLUMNS
+    )
+    lines = [header, "-" * len(header)]
+    for key, profile in profiled.items():
+        lines.append(
+            f"{key:<16}" + "".join(
+                f" {profile.get(field, 0):>9}"
+                for _, field in _PROFILE_COLUMNS
+            )
         )
     return "\n".join(lines)
 

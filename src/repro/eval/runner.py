@@ -231,6 +231,13 @@ def main(argv: list | None = None) -> None:
         evaluations = engines.evaluate_all(profile=args.profile)
         payload = engines.bench_payload(evaluations)
         print(engines.render(evaluations))
+        # The profile table prints before the floor check below can
+        # raise: a failing floor is exactly when the counters are
+        # needed to see which striding tier stopped engaging.
+        profile_table = engines.render_profile(evaluations)
+        if profile_table:
+            print()
+            print(profile_table)
         target = engines.write_bench(args.output or ".", payload)
         print(f"wrote {target}")
         failed = engines.below_floor(evaluations)

@@ -142,6 +142,11 @@ class PowerModel:
             length_mm=tech.bus_length_mm,
         )
         self._wires = WireModel(tech)
+        # Exact-input memo for the name-independent terms of
+        # component_power: epoch-by-epoch energy ledgers evaluate the
+        # same few (tiles, frequency, comm) operating points hundreds
+        # of times per run.
+        self._component_memo: dict = {}
 
     def with_leakage(self, leakage_ma_per_tile: float) -> "PowerModel":
         """A copy of this model at a different leakage current."""
@@ -194,22 +199,39 @@ class PowerModel:
         voltage_override: float | None = None,
     ) -> ComponentPower:
         """Evaluate one component at its own (or an overridden) rail."""
-        if voltage_override is not None:
-            voltage = voltage_override
-        elif spec.voltage_v is not None:
-            voltage = spec.voltage_v
-        else:
-            voltage = self.voltage_for(spec.frequency_mhz)
+        comm = spec.comm
+        key = (
+            spec.n_tiles, spec.frequency_mhz,
+            voltage_override if voltage_override is not None
+            else spec.voltage_v,
+            comm.words_per_cycle, comm.span_fraction,
+            comm.switching_activity,
+        )
+        terms = self._component_memo.get(key)
+        if terms is None:
+            if voltage_override is not None:
+                voltage = voltage_override
+            elif spec.voltage_v is not None:
+                voltage = spec.voltage_v
+            else:
+                voltage = self.voltage_for(spec.frequency_mhz)
+            terms = (
+                voltage,
+                self.tile_dynamic_mw(
+                    spec.n_tiles, spec.frequency_mhz, voltage
+                ),
+                self.bus_mw(comm, spec.frequency_mhz, voltage),
+                self.leakage_mw(spec.n_tiles, voltage),
+            )
+            self._component_memo[key] = terms
         return ComponentPower(
             name=spec.name,
             n_tiles=spec.n_tiles,
             frequency_mhz=spec.frequency_mhz,
-            voltage_v=voltage,
-            dynamic_mw=self.tile_dynamic_mw(
-                spec.n_tiles, spec.frequency_mhz, voltage
-            ),
-            bus_mw=self.bus_mw(spec.comm, spec.frequency_mhz, voltage),
-            leakage_mw=self.leakage_mw(spec.n_tiles, voltage),
+            voltage_v=terms[0],
+            dynamic_mw=terms[1],
+            bus_mw=terms[2],
+            leakage_mw=terms[3],
         )
 
     def application_power(

@@ -51,6 +51,10 @@ ANCHORS_20FO4 = (
 )
 
 
+#: Shared curve instances keyed by FO4 depth (see ``from_technology``).
+_CURVES_BY_DEPTH: dict = {}
+
+
 class VoltageFrequencyCurve:
     """Monotone mapping between supply voltage and maximum frequency.
 
@@ -87,6 +91,12 @@ class VoltageFrequencyCurve:
         self.fo4_depth = float(fo4_depth)
         self._speedup = reference_fo4 / float(fo4_depth)
         self._interp = PchipInterpolator(voltages, freqs)
+        # Exact-input memo tables.  Governed runs evaluate the curve at
+        # the same handful of ladder frequencies every epoch; keying on
+        # the exact float keeps results bit-identical while skipping
+        # the spline evaluation (and, for the inverse, the bisection).
+        self._fmax_memo: dict = {}
+        self._vmin_memo: dict = {}
 
     @classmethod
     def from_technology(
@@ -94,8 +104,18 @@ class VoltageFrequencyCurve:
         tech: TechnologyParameters = PAPER_TECHNOLOGY,
         fo4_depth: float = 20.0,
     ) -> "VoltageFrequencyCurve":
-        """Build the paper's curve for a given critical-path depth."""
-        return cls(ANCHORS_20FO4, fo4_depth=fo4_depth)
+        """Build the paper's curve for a given critical-path depth.
+
+        Instances are shared per ``fo4_depth``: the anchor table is a
+        module constant and the curve is a pure function of its inputs,
+        so every caller at the same depth can use the same (memoised)
+        spline instead of refitting it per chip build.
+        """
+        curve = _CURVES_BY_DEPTH.get(fo4_depth)
+        if curve is None:
+            curve = cls(ANCHORS_20FO4, fo4_depth=fo4_depth)
+            _CURVES_BY_DEPTH[fo4_depth] = curve
+        return curve
 
     @property
     def v_floor(self) -> float:
@@ -115,12 +135,17 @@ class VoltageFrequencyCurve:
         FrequencyRangeError
             If ``voltage`` lies outside the modelled range.
         """
+        memo = self._fmax_memo.get(voltage)
+        if memo is not None:
+            return memo
         if not self.v_floor <= voltage <= self.v_ceiling:
             raise FrequencyRangeError(
                 f"voltage {voltage} V outside modelled range "
                 f"[{self.v_floor}, {self.v_ceiling}] V"
             )
-        return float(self._interp(voltage)) * self._speedup
+        result = float(self._interp(voltage)) * self._speedup
+        self._fmax_memo[voltage] = result
+        return result
 
     def min_voltage_for(self, frequency_mhz: float) -> float:
         """Continuous minimum supply voltage supporting ``frequency_mhz``.
@@ -129,23 +154,30 @@ class VoltageFrequencyCurve:
         bisection on the forward curve so that
         ``max_frequency_mhz(min_voltage_for(f)) >= f`` always holds.
         """
+        memo = self._vmin_memo.get(frequency_mhz)
+        if memo is not None:
+            return memo
         if frequency_mhz <= 0:
             raise FrequencyRangeError("frequency must be positive")
         f_lo = self.max_frequency_mhz(self.v_floor)
         f_hi = self.max_frequency_mhz(self.v_ceiling)
         if frequency_mhz <= f_lo:
-            return self.v_floor
-        if frequency_mhz > f_hi:
+            result = self.v_floor
+        elif frequency_mhz > f_hi:
             raise FrequencyRangeError(
                 f"{frequency_mhz} MHz exceeds the {f_hi:.0f} MHz ceiling "
                 f"at {self.v_ceiling} V"
             )
-        root = brentq(
-            lambda v: self.max_frequency_mhz(v) - frequency_mhz,
-            self.v_floor,
-            self.v_ceiling,
-        )
-        return float(root)
+        else:
+            result = float(
+                brentq(
+                    lambda v: self.max_frequency_mhz(v) - frequency_mhz,
+                    self.v_floor,
+                    self.v_ceiling,
+                )
+            )
+        self._vmin_memo[frequency_mhz] = result
+        return result
 
     def quantize_voltage(
         self,

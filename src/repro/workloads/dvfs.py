@@ -333,9 +333,7 @@ class _ScenarioHarness:
 
     def before_epoch(self, chip: Chip, epoch: int) -> None:
         tick = chip.reference_ticks
-        while not chip.columns[0].h_out.is_empty:
-            chip.columns[0].h_out.pop()
-            self.produced += 1
+        self.produced += chip.columns[0].h_out.drain()
         scenario = self.scenario
         while self.fed_frames < scenario.n_frames \
                 and self.fed_frames * scenario.frame_ticks <= tick:
@@ -481,6 +479,32 @@ def _charge_ledger(
     return ledger, error
 
 
+_DEFAULT_TRANSITION_MODEL: TransitionModel | None = None
+_DEFAULT_POWER_MODEL: PowerModel | None = None
+
+
+def _default_transition_model() -> TransitionModel:
+    """Shared paper-default transition model.
+
+    Both defaults are pure evaluators over module-constant technology
+    parameters (the stateful part, ``TransitionEngine``, is built per
+    run), so every scenario run can reuse one instance instead of
+    refitting the voltage curve and wire model each call.
+    """
+    global _DEFAULT_TRANSITION_MODEL
+    if _DEFAULT_TRANSITION_MODEL is None:
+        _DEFAULT_TRANSITION_MODEL = TransitionModel()
+    return _DEFAULT_TRANSITION_MODEL
+
+
+def _default_power_model() -> PowerModel:
+    """Shared paper-default power model (see above)."""
+    global _DEFAULT_POWER_MODEL
+    if _DEFAULT_POWER_MODEL is None:
+        _DEFAULT_POWER_MODEL = PowerModel()
+    return _DEFAULT_POWER_MODEL
+
+
 def run_scenario(
     scenario: BurstyScenario,
     governor: Governor | str,
@@ -492,6 +516,10 @@ def run_scenario(
     """Run one scenario under one governor; settle deadlines + energy."""
     if isinstance(governor, str):
         governor = default_governor(governor, scenario)
+    if transition_model is None:
+        transition_model = _default_transition_model()
+    if model is None:
+        model = _default_power_model()
     chip = scenario.build_chip()
     harness = _ScenarioHarness(scenario, chip)
     budget = max_ticks if max_ticks is not None else (
@@ -500,7 +528,7 @@ def run_scenario(
     run = run_governed(
         chip,
         governor,
-        transition_model=transition_model or TransitionModel(),
+        transition_model=transition_model,
         engine=engine,
         epoch_ticks=scenario.epoch_ticks,
         max_ticks=budget,
@@ -514,9 +542,7 @@ def run_scenario(
             f"{scenario.total_words} words - the worker and trace "
             f"disagree"
         )
-    ledger, error = _charge_ledger(
-        scenario, run, model or PowerModel()
-    )
+    ledger, error = _charge_ledger(scenario, run, model)
     return ScenarioResult(
         scenario=scenario,
         governor=governor.name,

@@ -102,13 +102,13 @@ def test_below_floor_detects_regression(monkeypatch):
     monkeypatch.delenv("BENCH_SMOKE", raising=False)
     evaluations = {
         "fir": _fake_evaluation(10.0, 1.0),       # 10x: fine
-        "ddc_pipeline": _fake_evaluation(2.0, 1.0),  # 2x < 3.0 floor
+        "ddc_pipeline": _fake_evaluation(2.0, 1.0),  # 2x < 6.0 floor
     }
     assert engines.below_floor(evaluations) == ["ddc_pipeline"]
     payload = engines.bench_payload(evaluations)
     assert payload["workloads"]["fir"]["below_floor"] is False
     assert payload["workloads"]["ddc_pipeline"]["below_floor"] is True
-    assert payload["workloads"]["ddc_pipeline"]["floor"] == 3.0
+    assert payload["workloads"]["ddc_pipeline"]["floor"] == 6.0
     assert "[below floor]" in engines.render(evaluations)
 
 

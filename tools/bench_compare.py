@@ -24,7 +24,17 @@ Rules:
 * a fresh speedup below ``(1 - tolerance) * baseline`` fails.
   Improvements are reported but never fail - refresh the baseline by
   copying a representative artifact over it when the trajectory moves
-  up for good.
+  up for good;
+* when both artifacts carry ``--profile`` phase timings, a workload
+  whose *dense-phase share* of compiled wall time grew by more than
+  the tolerance (relative) fails too: dense ticking is the fallback
+  tier, so its share creeping up means a striding tier (lockstep
+  rounds, orbit batches) quietly stopped engaging even if the
+  headline ratio still scrapes by;
+* unknown keys anywhere in either artifact are ignored, and a
+  baseline entry missing a field this tool reads is skipped with a
+  note instead of failing - older tools must keep working as the
+  artifact schema grows.
 """
 
 from __future__ import annotations
@@ -36,6 +46,26 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent.parent / "benchmarks" \
     / "engine_baseline.json"
+
+# Compiled-engine phase buckets (profile_snapshot timing keys) that
+# partition a run's attributed wall time.  Missing keys read as zero
+# so artifacts from before a bucket existed still compare.
+_PHASE_BUCKETS = ("dense_s", "sparse_s", "settle_s", "drain_s")
+
+
+def _dense_share(entry: dict) -> float | None:
+    """dense_s as a fraction of all phase buckets, or None.
+
+    None when the entry has no profile or the buckets never ticked
+    (profile timings only populate on ``--profile`` runs).
+    """
+    profile = entry.get("profile")
+    if not isinstance(profile, dict):
+        return None
+    total = sum(float(profile.get(key, 0.0)) for key in _PHASE_BUCKETS)
+    if total <= 0.0:
+        return None
+    return float(profile.get("dense_s", 0.0)) / total
 
 
 def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
@@ -71,13 +101,34 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
             print(f"{key:<16} {base_entry['speedup']:>8.2f}x "
                   f"{'-':>9} {'-':>8}  MISSING")
             continue
-        base_speedup = base_entry["speedup"]
-        fresh_speedup = fresh_entry["speedup"]
+        base_speedup = base_entry.get("speedup")
+        fresh_speedup = fresh_entry.get("speedup")
+        if base_speedup is None or fresh_speedup is None:
+            # Schema drift (an artifact generation that renamed or
+            # dropped the field): nothing comparable, note and move on.
+            print(f"{key:<16} {'-':>9} {'-':>9} {'-':>8}  SKIPPED "
+                  f"(no speedup field)")
+            continue
         change = (fresh_speedup - base_speedup) / base_speedup
         regressed = fresh_speedup < floor_fraction * base_speedup
         verdict = "REGRESSED" if regressed else "ok"
+        base_share = _dense_share(base_entry)
+        fresh_share = _dense_share(fresh_entry)
+        share_note = ""
+        if base_share is not None and fresh_share is not None:
+            share_note = (
+                f"  dense {base_share:.1%} -> {fresh_share:.1%}"
+            )
+            if fresh_share > (1.0 + tolerance) * base_share:
+                verdict = "DENSE-SHARE"
+                failures.append(
+                    f"{key}: dense-phase share grew from "
+                    f"{base_share:.1%} to {fresh_share:.1%} (more "
+                    f"than {tolerance:.0%} relative) - a striding "
+                    f"tier stopped engaging"
+                )
         print(f"{key:<16} {base_speedup:>8.2f}x {fresh_speedup:>8.2f}x "
-              f"{change:>+7.1%}  {verdict}")
+              f"{change:>+7.1%}  {verdict}{share_note}")
         if regressed:
             failures.append(
                 f"{key}: speedup {fresh_speedup:.2f}x is more than "
