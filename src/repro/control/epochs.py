@@ -31,6 +31,7 @@ from typing import Callable
 from repro.errors import ConfigurationError, SimulationError
 from repro.control.governor import Governor, Telemetry
 from repro.control.transitions import TransitionModel
+from repro.obs.events import BUS
 from repro.sim.engine import DEFAULT_MAX_TICKS, Engine, create_engine
 from repro.sim.stats import (
     EpochColumnActivity,
@@ -206,6 +207,26 @@ def run_governed(
             if telemetry_extras is not None else None
         telemetry = snapshot_telemetry(chip, epoch, extras)
         target = tuple(governor.decide(telemetry))
+        if BUS.active:
+            # The decision with its inputs: what the governor saw and
+            # what rung it chose - the observable loop state a
+            # feedback-control consumer replays a policy from.
+            BUS.instant(
+                "govern",
+                tick=chip.reference_ticks,
+                category="control",
+                track="governor",
+                args={
+                    "epoch": epoch,
+                    "governor": governor.name,
+                    "input_fill": telemetry.input_fill,
+                    "output_fill": telemetry.output_fill,
+                    "backlog_words": telemetry.backlog_words,
+                    "slack": telemetry.extras.get("ticks_to_deadline"),
+                    "dividers": telemetry.dividers,
+                    "target": target,
+                },
+            )
         if target != chip.clock.dividers:
             planned = model.plan(
                 chip.reference_ticks, chip.clock, target,
@@ -217,6 +238,20 @@ def run_governed(
                 )
             chip.retune(target)
             transitions.extend(planned)
+            if BUS.active:
+                for record in planned:
+                    BUS.instant(
+                        "retune_commit",
+                        tick=record.tick,
+                        category="control",
+                        track=f"column{record.column}",
+                        args={
+                            "from": record.from_divider,
+                            "to": record.to_divider,
+                            "relock_ticks": record.relock_ticks,
+                            "energy_nj": record.energy_nj,
+                        },
+                    )
         hyperperiod = chip.clock.hyperperiod()
         duration = epoch_ticks if epoch_ticks is not None \
             else epoch_hyperperiods * hyperperiod
@@ -247,6 +282,15 @@ def run_governed(
                 before, _column_snapshot(chip)
             ),
         ))
+        if BUS.active:
+            BUS.span(
+                f"epoch{epoch}",
+                epoch_start,
+                chip.reference_ticks,
+                category="control",
+                track="governor",
+                args={"dividers": chip.clock.dividers},
+            )
         epoch += 1
     # All halted: the engine's own run() contributes zero live ticks
     # and performs exactly the standard post-halt bus drain.

@@ -36,6 +36,14 @@ enforcement, since tiny runs measure fixed costs, not striding).
 after the timing loops and attaches its per-phase wall-clock
 attribution (compile, dense ticks, batched jumps, settlement, drain)
 plus the runner/vectorizer event counters to each payload entry.
+
+``--trace out.json`` re-runs the timeline-bearing workloads
+(:data:`TRACE_WORKLOADS`) with the full telemetry bus subscribed and
+exports one Chrome-trace/Perfetto JSON: per-clock-domain tracks with
+window phases, divider rungs, relock-gated stretches, retune commits,
+and governor decisions.  The traced runs happen *after* the timing
+loops (sinks never contaminate the recorded wall clocks) and their
+statistics are asserted bit-identical to the untraced runs.
 """
 
 from __future__ import annotations
@@ -463,6 +471,61 @@ def render_profile(evaluations: dict) -> str:
             )
         )
     return "\n".join(lines)
+
+
+#: Workloads rendered onto the ``--trace`` timeline: the two that
+#: exercise every per-domain track type - ddc_pipeline (live DOU
+#: schedules, deep dividers, lockstep rounds) and governed_burst
+#: (governor decisions, retune commits, relock gates).
+TRACE_WORKLOADS = ("ddc_pipeline", "governed_burst")
+
+
+def trace_workloads(
+    path: str | Path, keys: tuple = TRACE_WORKLOADS
+) -> dict:
+    """Trace the selected workloads and write one Chrome-trace JSON.
+
+    Each workload gets an untraced compiled run (warm-up plus a timed
+    baseline) and then a fully subscribed run routed into its own
+    process row of the trace.  The traced statistics are asserted
+    bit-identical to the untraced ones - tracing observes, it never
+    steers.  Returns the telemetry summary stamped into
+    ``BENCH_engine.json``: event counts by kind/category, the
+    traced/untraced wall-clock ratio per workload, and the artifact
+    path.
+    """
+    from repro.obs import ChromeTraceBuilder, CountingSink, subscribed
+    from repro.obs.export import write_chrome_trace
+
+    builder = ChromeTraceBuilder()
+    counts = CountingSink()
+    overhead = {}
+    for key in keys:
+        _, runner = WORKLOADS[key]
+        runner("compiled")  # warm caches off the measured runs
+        start = time.perf_counter()
+        baseline = runner("compiled")
+        untraced_s = time.perf_counter() - start
+        with subscribed(builder), subscribed(counts):
+            builder.process(key)
+            start = time.perf_counter()
+            traced = runner("compiled")
+            traced_s = time.perf_counter() - start
+        if traced != baseline:
+            raise AssertionError(
+                f"{key}: tracing changed the simulation statistics - "
+                f"the observe-only telemetry contract is broken"
+            )
+        overhead[key] = (
+            round(traced_s / untraced_s, 3) if untraced_s > 0
+            else None
+        )
+    write_chrome_trace(path, builder)
+    summary = counts.summary()
+    summary["overhead_ratio"] = overhead
+    summary["workloads"] = list(keys)
+    summary["trace"] = str(path)
+    return summary
 
 
 def write_bench(

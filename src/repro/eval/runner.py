@@ -10,6 +10,7 @@ Options::
     python -m repro.eval.runner --dvfs               # governor eval
     python -m repro.eval.runner --coordinated        # pipeline eval
     python -m repro.eval.runner --engines --profile  # engine bench
+    python -m repro.eval.runner --engines --trace trace.json  # timeline
 
 Experiments are independent pure functions of the model, so they
 render concurrently through :func:`repro.sim.batch.parallel_map`.
@@ -40,7 +41,16 @@ full-size runs the recorded per-workload speedup floors are enforced
 (the process exits non-zero below a floor); ``BENCH_SMOKE=1`` shrinks
 the workload sizes for CI and disables floor enforcement.  Add
 ``--profile`` for per-phase wall-clock attribution (compile, dense
-ticks, batched jumps, settlement, drain) in the JSON payload.
+ticks, batched jumps, settlement, drain) in the JSON payload, and
+``--trace out.json`` to export a Chrome-trace/Perfetto timeline of
+the timeline-bearing workloads (after the timing loops, so sinks
+never touch the recorded wall clocks).
+
+Every BENCH artifact carries a ``telemetry`` block - event counts by
+kind and category from the run's bus subscription plus the
+traced/untraced overhead ratio where one was measured - stamped by
+:func:`emit_artifact`, the single emit path all four evaluations
+share.
 """
 
 from __future__ import annotations
@@ -138,6 +148,36 @@ def write_results(outputs: dict, directory: str) -> list:
     return written
 
 
+def emit_artifact(
+    payload: dict,
+    write_bench,
+    output: str | None,
+    renders: list | None = None,
+    telemetry: dict | None = None,
+) -> Path:
+    """The one emit path every BENCH evaluation shares.
+
+    Stamps the telemetry summary into the payload (a
+    forward-compatible extra key: ``tools/bench_compare.py`` ignores
+    keys it does not know), prints the human-readable renders, writes
+    the artifact through the evaluation's ``write_bench``, and
+    announces the written path.  ``telemetry`` defaults to an
+    explicit zero block so consumers can distinguish "nothing
+    subscribed" from "field missing".
+    """
+    summary = dict(telemetry) if telemetry is not None else {
+        "events": 0, "by_kind": {}, "by_category": {},
+    }
+    summary.setdefault("overhead_ratio", None)
+    payload["telemetry"] = summary
+    for text in renders or ():
+        if text:
+            print(text)
+    target = write_bench(output or ".", payload)
+    print(f"wrote {target}")
+    return target
+
+
 def main(argv: list | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -187,9 +227,17 @@ def main(argv: list | None = None) -> None:
              "workload and attach its per-phase wall-clock "
              "attribution to BENCH_engine.json",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="with --engines: re-run the timeline-bearing workloads "
+             "with the telemetry bus subscribed (after the timing "
+             "loops) and write a Chrome-trace/Perfetto JSON to FILE",
+    )
     args = parser.parse_args(argv)
     if args.profile and not args.engines:
         parser.error("--profile only applies to --engines")
+    if args.trace and not args.engines:
+        parser.error("--trace only applies to --engines")
     exclusive = [
         name for name, chosen in (
             ("--measured", args.measured),
@@ -205,6 +253,7 @@ def main(argv: list | None = None) -> None:
         )
     if args.coordinated:
         from repro.eval import coordinated
+        from repro.obs import CountingSink, subscribed
 
         if args.experiments:
             parser.error("--coordinated runs its own scenarios; drop "
@@ -212,11 +261,15 @@ def main(argv: list | None = None) -> None:
         if args.jobs != 1:
             parser.error("--coordinated evaluates scenarios "
                          "sequentially; --jobs does not apply")
-        evaluations = coordinated.evaluate_all()
-        payload = coordinated.bench_payload(evaluations)
-        print(coordinated.render(evaluations))
-        target = coordinated.write_bench(args.output or ".", payload)
-        print(f"wrote {target}")
+        sink = CountingSink()
+        with subscribed(sink):
+            evaluations = coordinated.evaluate_all()
+        emit_artifact(
+            coordinated.bench_payload(evaluations),
+            coordinated.write_bench, args.output,
+            renders=[coordinated.render(evaluations)],
+            telemetry=sink.summary(),
+        )
         return
     if args.engines:
         from repro.eval import engines
@@ -229,17 +282,23 @@ def main(argv: list | None = None) -> None:
                          "wall clocks are comparable; --jobs does "
                          "not apply")
         evaluations = engines.evaluate_all(profile=args.profile)
-        payload = engines.bench_payload(evaluations)
-        print(engines.render(evaluations))
+        # Tracing happens after every timing loop so no sink ever
+        # touches the recorded wall clocks (the telemetry block then
+        # carries the measured traced/untraced overhead ratio).
+        telemetry = (
+            engines.trace_workloads(args.trace) if args.trace
+            else None
+        )
         # The profile table prints before the floor check below can
         # raise: a failing floor is exactly when the counters are
         # needed to see which striding tier stopped engaging.
         profile_table = engines.render_profile(evaluations)
-        if profile_table:
-            print()
-            print(profile_table)
-        target = engines.write_bench(args.output or ".", payload)
-        print(f"wrote {target}")
+        emit_artifact(
+            engines.bench_payload(evaluations),
+            engines.write_bench, args.output,
+            renders=[engines.render(evaluations), profile_table],
+            telemetry=telemetry,
+        )
         failed = engines.below_floor(evaluations)
         if failed:
             floors = ", ".join(
@@ -252,6 +311,7 @@ def main(argv: list | None = None) -> None:
         return
     if args.dvfs:
         from repro.eval import dvfs
+        from repro.obs import CountingSink, subscribed
 
         if args.experiments:
             parser.error("--dvfs runs its own scenarios; drop "
@@ -259,14 +319,19 @@ def main(argv: list | None = None) -> None:
         if args.jobs != 1:
             parser.error("--dvfs evaluates scenarios sequentially; "
                          "--jobs does not apply")
-        evaluations = dvfs.evaluate_all()
-        payload = dvfs.bench_payload(evaluations)
-        print(dvfs.render(evaluations))
-        target = dvfs.write_bench(args.output or ".", payload)
-        print(f"wrote {target}")
+        sink = CountingSink()
+        with subscribed(sink):
+            evaluations = dvfs.evaluate_all()
+        emit_artifact(
+            dvfs.bench_payload(evaluations),
+            dvfs.write_bench, args.output,
+            renders=[dvfs.render(evaluations)],
+            telemetry=sink.summary(),
+        )
         return
     if args.measured:
         from repro.eval.measured import write_bench
+        from repro.obs import CountingSink, subscribed
 
         names = args.experiments
         if names is not None:
@@ -279,21 +344,24 @@ def main(argv: list | None = None) -> None:
                     f"variant; --measured supports "
                     f"{sorted(_MEASURED_EXPERIMENTS)}"
                 )
-        measured = run_measured(names)
+        sink = CountingSink()
+        with subscribed(sink):
+            measured = run_measured(names)
         payload = measured.pop("BENCH_power")
-        target = write_bench(args.output or ".", payload)
         if args.output:
             for written in write_results(measured, args.output):
                 print(f"wrote {written}")
-            print(f"wrote {target}")
-            return
-        for name, text in measured.items():
-            print("=" * 72)
-            print(f"== {name} (measured)")
-            print("=" * 72)
-            print(text)
-            print()
-        print(f"wrote {target}")
+        else:
+            for name, text in measured.items():
+                print("=" * 72)
+                print(f"== {name} (measured)")
+                print("=" * 72)
+                print(text)
+                print()
+        emit_artifact(
+            payload, write_bench, args.output,
+            telemetry=sink.summary(),
+        )
         return
     jobs = None if args.jobs == 0 else args.jobs
     outputs = run_all(args.experiments, jobs=jobs)

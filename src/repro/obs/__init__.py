@@ -1,0 +1,73 @@
+"""Unified telemetry plane: event bus, metrics, exporters.
+
+Synchroscalar's whole argument is about where time and energy go -
+per-domain frequency residency, stall/starve behaviour at domain
+boundaries, gating windows - and this package is the one structured
+surface every layer reports into and every consumer reads from:
+
+:mod:`repro.obs.events`
+    Typed span/instant/counter events on a process-wide
+    :data:`~repro.obs.events.BUS`.  Emission compiles down to a
+    single attribute check when no sink is subscribed, so the
+    instrumented engine/control/power/batch layers cost nothing on
+    untraced runs (the contract the overhead tests pin down).
+
+:mod:`repro.obs.metrics`
+    Counters, gauges, and histograms in a :class:`MetricsRegistry`.
+    The compiled engine's profile counters are registry-backed; its
+    ``profile_snapshot()`` remains as the compatibility view the
+    ``BENCH_engine.json`` schema and CI counter checks consume.
+
+:mod:`repro.obs.export`
+    Sinks and exporters: a Chrome-trace/Perfetto JSON builder that
+    renders a run as a timeline with one track per clock domain, a
+    JSONL streaming sink for service-style consumers, and a counting
+    sink for cheap run summaries.
+
+Tracing never changes simulation behaviour: a fully subscribed run
+and a no-sink run produce bit-identical
+:class:`~repro.sim.stats.SimulationStats` (asserted differentially),
+because sinks only observe - no emission site steers control flow.
+"""
+
+from repro.obs.events import (
+    BUS,
+    CounterEvent,
+    Event,
+    EventBus,
+    InstantEvent,
+    SpanEvent,
+    subscribed,
+)
+from repro.obs.export import (
+    ChromeTraceBuilder,
+    CountingSink,
+    JsonlSink,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "BUS",
+    "ChromeTraceBuilder",
+    "Counter",
+    "CounterEvent",
+    "CountingSink",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "JsonlSink",
+    "MetricsRegistry",
+    "SpanEvent",
+    "subscribed",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

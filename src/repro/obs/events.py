@@ -1,0 +1,245 @@
+"""The structured event bus every layer emits into.
+
+Three typed event shapes cover the whole telemetry surface:
+
+:class:`SpanEvent`
+    Something with extent on the reference-tick timeline - an engine
+    striding window, an epoch, a PLL-relock gate, the post-halt bus
+    drain.
+
+:class:`InstantEvent`
+    A point occurrence - a governor decision, a retune commit, a
+    lockstep round replay, a column halt, a batch job completing, a
+    ledger wake charge.
+
+:class:`CounterEvent`
+    A sampled value on a track - a column's divider rung, cumulative
+    issued instructions, buffer occupancy, accumulated energy.
+
+Every event carries a ``category`` (which layer emitted it:
+``engine`` / ``control`` / ``power`` / ``batch``) and a ``track``
+(which timeline row it belongs on: ``column<i>`` for per-clock-domain
+rows, or a layer row like ``engine``, ``governor``, ``jobs``).  The
+``tick`` is the reference-tick time base shared by both simulation
+engines; events from layers without a tick (the energy ledger, the
+batch scheduler) carry ``tick=None`` and are placed by the exporter.
+
+The emission contract is the hot-path design constraint: when no sink
+is subscribed, :attr:`EventBus.active` is ``False`` and every
+instrumentation site reduces to one attribute check.  Subscribing a
+sink never changes simulation behaviour - sinks observe, they do not
+steer - so a fully subscribed run produces bit-identical
+:class:`~repro.sim.stats.SimulationStats` to a silent one.
+
+Sinks are objects with a ``handle(event)`` method (a bare callable
+works too).  A sink that raises propagates: telemetry consumers are
+part of the run's correctness envelope, and swallowing their errors
+would hide broken exporters.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "BUS",
+    "CounterEvent",
+    "Event",
+    "EventBus",
+    "InstantEvent",
+    "SpanEvent",
+    "subscribed",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Common shape: what happened, which layer, which timeline row."""
+
+    name: str
+    category: str
+    track: str
+    tick: int | None
+    args: Mapping = field(default_factory=dict)
+
+    #: Discriminator the exporters and sinks dispatch on; each
+    #: concrete event class pins its own value.
+    kind = "event"
+
+
+@dataclass(frozen=True)
+class SpanEvent(Event):
+    """An extent on the reference-tick timeline.
+
+    ``tick`` is the span's start; ``duration`` its length in
+    reference ticks (never negative; zero-length spans are legal and
+    render as instants in most viewers).
+    """
+
+    duration: int = 0
+    kind = "span"
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(
+                f"span {self.name!r}: negative duration "
+                f"{self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class InstantEvent(Event):
+    """A point occurrence on the timeline."""
+
+    kind = "instant"
+
+
+@dataclass(frozen=True)
+class CounterEvent(Event):
+    """A sampled value on a track at one point in time."""
+
+    value: float = 0.0
+    kind = "counter"
+
+
+class EventBus:
+    """Subscriber fan-out with a one-attribute-check inactive path.
+
+    ``active`` is the public fast-path flag: instrumentation sites
+    guard every emission with ``if BUS.active:`` so an untraced run
+    pays exactly one attribute read per site visit.  It is kept in
+    lockstep with the subscriber tuple by :meth:`subscribe` /
+    :meth:`unsubscribe` and must not be written directly.
+    """
+
+    __slots__ = ("active", "_sinks", "_handlers")
+
+    def __init__(self) -> None:
+        self.active = False
+        self._sinks: tuple = ()
+        self._handlers: tuple = ()
+
+    @property
+    def sinks(self) -> tuple:
+        """The subscribed sinks, in subscription order."""
+        return self._sinks
+
+    def subscribe(self, sink):
+        """Attach a sink; returns it for with-statement chaining.
+
+        ``sink`` either exposes ``handle(event)`` or is itself
+        callable with one event argument.  Double-subscribing the
+        same object is a no-op.
+        """
+        if sink in self._sinks:
+            return sink
+        handler = getattr(sink, "handle", None)
+        if handler is None:
+            if not callable(sink):
+                raise TypeError(
+                    f"sink {sink!r} has no handle() method and is "
+                    f"not callable"
+                )
+            handler = sink
+        self._sinks = self._sinks + (sink,)
+        self._handlers = self._handlers + (handler,)
+        self.active = True
+        return sink
+
+    def unsubscribe(self, sink) -> None:
+        """Detach a sink; unknown sinks are ignored."""
+        if sink not in self._sinks:
+            return
+        kept = [
+            (s, h) for s, h in zip(self._sinks, self._handlers)
+            if s is not sink and s != sink
+        ]
+        self._sinks = tuple(s for s, _ in kept)
+        self._handlers = tuple(h for _, h in kept)
+        self.active = bool(self._sinks)
+
+    def emit(self, event: Event) -> None:
+        """Deliver one already-built event to every sink."""
+        for handler in self._handlers:
+            handler(event)
+
+    # ------------------------------------------------------------------
+    # emission helpers - the vocabulary instrumentation sites speak.
+    # Each allocates only when the bus is active; callers still guard
+    # with ``if BUS.active:`` so the inactive path never gets here.
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        start_tick: int,
+        end_tick: int,
+        *,
+        category: str = "engine",
+        track: str = "engine",
+        args: Mapping | None = None,
+    ) -> None:
+        """Emit a span covering ``[start_tick, end_tick)``."""
+        self.emit(SpanEvent(
+            name=name, category=category, track=track,
+            tick=start_tick, duration=end_tick - start_tick,
+            args=args or {},
+        ))
+
+    def instant(
+        self,
+        name: str,
+        *,
+        tick: int | None = None,
+        category: str = "engine",
+        track: str = "engine",
+        args: Mapping | None = None,
+    ) -> None:
+        """Emit a point event."""
+        self.emit(InstantEvent(
+            name=name, category=category, track=track, tick=tick,
+            args=args or {},
+        ))
+
+    def counter(
+        self,
+        name: str,
+        value: float,
+        *,
+        tick: int | None = None,
+        category: str = "engine",
+        track: str = "engine",
+        args: Mapping | None = None,
+    ) -> None:
+        """Emit a sampled counter value."""
+        self.emit(CounterEvent(
+            name=name, category=category, track=track, tick=tick,
+            value=value, args=args or {},
+        ))
+
+
+#: The process-wide bus every instrumented layer emits into.  A
+#: single global keeps the inactive check to one attribute read with
+#: no plumbing through constructor signatures; consumers subscribe
+#: around the runs they care about (``with subscribed(sink): ...``).
+#: Forked batch workers inherit a copy - events they emit go to their
+#: copy of the sinks and die with the worker, which is why the
+#: streaming sinks buffer instead of writing incrementally by
+#: default.
+BUS = EventBus()
+
+
+@contextmanager
+def subscribed(sink, bus: EventBus | None = None):
+    """Subscribe ``sink`` for the duration of a with-block.
+
+    Yields the sink; always unsubscribes, so a raising run cannot
+    leak an active bus into later (supposedly untraced) runs.
+    """
+    target = bus if bus is not None else BUS
+    target.subscribe(sink)
+    try:
+        yield sink
+    finally:
+        target.unsubscribe(sink)

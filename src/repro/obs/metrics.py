@@ -1,0 +1,205 @@
+"""Typed metrics: counters, gauges, histograms in one registry.
+
+The registry is the structured successor to the compiled engine's
+hand-rolled ``_profile`` dict: instruments are created by name,
+read/written through typed objects, and snapshot as one plain dict
+suitable for JSON artifacts.
+
+Hot-path design: an instrument does not own its value - it reads and
+writes a slot in the registry's backing ``store`` dict.  A registry
+can therefore *adopt* an existing dict
+(:meth:`MetricsRegistry.adopt`), which is how the compiled engine
+keeps its inner loops on raw ``dict[key] += n`` operations (the
+fastest increment CPython has) while the same numbers are readable
+through the typed instrument API and land in
+:meth:`MetricsRegistry.snapshot`.  ``profile_snapshot()`` on the
+engine remains as the compatibility view of the same store, so the
+``BENCH_engine.json`` schema and the CI counter checks keep working
+unchanged.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count backed by a registry slot."""
+
+    __slots__ = ("name", "_store")
+
+    def __init__(self, name: str, store: dict) -> None:
+        self.name = name
+        self._store = store
+        store.setdefault(name, 0)
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r}: negative increment {amount}"
+            )
+        self._store[self.name] += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._store[self.name]
+
+
+class Gauge:
+    """A point-in-time value backed by a registry slot."""
+
+    __slots__ = ("name", "_store")
+
+    def __init__(self, name: str, store: dict) -> None:
+        self.name = name
+        self._store = store
+        store.setdefault(name, 0.0)
+
+    def set(self, value: float) -> None:
+        self._store[self.name] = value
+
+    def add(self, delta: float) -> None:
+        """Accumulate into the gauge (phase-timing style usage)."""
+        self._store[self.name] += delta
+
+    @property
+    def value(self) -> float:
+        return self._store[self.name]
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max.
+
+    ``buckets`` are the inclusive upper bounds of each bin; values
+    above the last bound land in the implicit overflow bin.  The
+    histogram keeps its own state object in the registry store so a
+    snapshot renders it as a plain dict.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    DEFAULT_BOUNDS = (1, 10, 100, 1_000, 10_000, 100_000)
+
+    def __init__(self, name: str, bounds=None) -> None:
+        self.name = name
+        self.bounds = tuple(
+            sorted(bounds if bounds is not None
+                   else self.DEFAULT_BOUNDS)
+        )
+        if not self.bounds:
+            raise ValueError(
+                f"histogram {name!r}: needs at least one bucket bound"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (bucket bounds paired with counts)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                f"<={bound}": count
+                for bound, count in zip(self.bounds, self.counts)
+            } | {f">{self.bounds[-1]}": self.counts[-1]},
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get instruments by name; snapshot as one dict.
+
+    A name is permanently bound to its first instrument kind -
+    re-requesting it with a different kind raises, which catches the
+    classic silent aliasing bug where a counter and a gauge fight
+    over one slot.
+    """
+
+    def __init__(
+        self, namespace: str = "", store: dict | None = None
+    ) -> None:
+        self.namespace = namespace
+        #: the backing value dict - possibly adopted, see
+        #: :meth:`adopt`; histograms store their state object here.
+        self.store = store if store is not None else {}
+        self._kinds: dict = {}
+
+    @classmethod
+    def adopt(cls, store: dict, namespace: str = "") -> "MetricsRegistry":
+        """A registry whose instruments read/write ``store`` in place.
+
+        The adopter's hot loops may keep mutating the dict directly;
+        instruments and snapshots see every update because there is
+        only one storage location.
+        """
+        return cls(namespace=namespace, store=store)
+
+    def _register(self, name: str, kind: str):
+        seen = self._kinds.get(name)
+        if seen is None:
+            self._kinds[name] = kind
+        elif seen != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {seen}, "
+                f"requested {kind}"
+            )
+
+    def counter(self, name: str) -> Counter:
+        self._register(name, "counter")
+        return Counter(name, self.store)
+
+    def gauge(self, name: str) -> Gauge:
+        self._register(name, "gauge")
+        return Gauge(name, self.store)
+
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        self._register(name, "histogram")
+        histogram = self.store.get(name)
+        if not isinstance(histogram, Histogram):
+            histogram = Histogram(name, bounds=bounds)
+            self.store[name] = histogram
+        return histogram
+
+    def kind(self, name: str) -> str | None:
+        """The registered instrument kind of ``name`` (None if free)."""
+        return self._kinds.get(name)
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict over every slot in the store.
+
+        Adopted stores may hold keys never registered through the
+        typed API (the engine's raw-dict fast path); they are
+        included verbatim - the registry is a view, not a gatekeeper.
+        """
+        out = {}
+        for name, value in self.store.items():
+            out[name] = (
+                value.to_dict() if isinstance(value, Histogram)
+                else value
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.store)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.events import BUS
 from repro.power.interconnect import CommProfile
 from repro.power.model import ApplicationPower, ComponentPower, ComponentSpec
 from repro.sim.stats import SimulationStats
@@ -314,6 +315,16 @@ class EnergyLedger:
             leakage_nj=power.leakage_mw * time_us,
         )
         self._domains.append(entry)
+        if BUS.active:
+            BUS.instant(
+                "charge", category="power", track="ledger",
+                args={
+                    "domain": entry.name,
+                    "time_us": time_us,
+                    "busy_fraction": busy,
+                    "energy_nj": entry.total_nj,
+                },
+            )
         return entry
 
     def charge_gated(
@@ -357,6 +368,17 @@ class EnergyLedger:
             gated=True,
         )
         self._domains.append(entry)
+        if BUS.active:
+            BUS.instant(
+                "charge_gated", category="power", track="ledger",
+                args={
+                    "domain": entry.name,
+                    "time_us": time_us,
+                    "retained_leakage_fraction":
+                        retained_leakage_fraction,
+                    "energy_nj": entry.total_nj,
+                },
+            )
         return entry
 
     @classmethod
@@ -383,9 +405,19 @@ class EnergyLedger:
     def charge_transition(
         self, name: str, energy_nj: float
     ) -> TransitionEnergy:
-        """Charge one DVFS transition (rail charge/discharge)."""
+        """Charge one DVFS transition (rail charge/discharge).
+
+        Rail *wake* charges (reconnecting a gated column) flow
+        through here too - the transition name distinguishes them on
+        the telemetry stream.
+        """
         entry = TransitionEnergy(name=name, energy_nj=energy_nj)
         self._transitions.append(entry)
+        if BUS.active:
+            BUS.instant(
+                "charge_transition", category="power", track="ledger",
+                args={"transition": name, "energy_nj": energy_nj},
+            )
         return entry
 
     @property

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Sequence
 from repro.arch.chip import Chip
 from repro.arch.config import ChipConfig
 from repro.arch.dou import DouProgram
+from repro.obs.events import BUS
 from repro.sim.engine import DEFAULT_MAX_TICKS, create_engine
 from repro.sim.stats import SimulationStats
 
@@ -170,20 +171,35 @@ def parallel_map(
     fn: Callable,
     items: Sequence,
     processes: int | None = None,
+    progress: Callable[[int], None] | None = None,
 ) -> list:
     """Order-preserving map, fanned across worker processes.
 
     ``processes=None`` sizes the pool to the host (serial on a single
     CPU); ``processes<=1`` or a batch of one runs in-process.  ``fn``
     and every item must be picklable when a pool is used.
+    ``progress`` is invoked with each item's index as its result
+    lands, in item order - always in the *calling* process, so it may
+    emit telemetry (forked workers only see a dead copy of the bus).
     """
     items = list(items)
     if processes is None:
         processes = min(len(items), os.cpu_count() or 1)
     if processes <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        out = []
+        for index, item in enumerate(items):
+            out.append(fn(item))
+            if progress is not None:
+                progress(index)
+        return out
     with get_context().Pool(processes=processes) as pool:
-        return pool.map(fn, items)
+        if progress is None:
+            return pool.map(fn, items)
+        out = []
+        for index, result in enumerate(pool.imap(fn, items)):
+            out.append(result)
+            progress(index)
+        return out
 
 
 def run_many(
@@ -218,10 +234,45 @@ def run_many(
                 label=requests[index].label, key=key, stats=stats,
                 cached=True,
             )
+            if BUS.active:
+                BUS.instant(
+                    "job_cached", category="batch", track="jobs",
+                    args={
+                        "label": requests[index].label,
+                        "key": key[:12],
+                    },
+                )
+    # Lifecycle events are parent-side only: forked workers inherit a
+    # copy of the bus whose events die with them, so the one coherent
+    # stream is submitted/progress/done as results land here.
+    progress = None
+    if BUS.active:
+        BUS.instant(
+            "batch_submitted", category="batch", track="jobs",
+            args={
+                "jobs": len(requests),
+                "unique": len(groups),
+                "cached": len(groups) - len(pending),
+                "executing": len(pending),
+            },
+        )
+
+        def progress(index: int) -> None:
+            BUS.instant(
+                "job_done", category="batch", track="jobs",
+                args={
+                    "label": requests[groups[pending[index]][0]].label,
+                    "key": pending[index][:12],
+                    "completed": index + 1,
+                    "of": len(pending),
+                },
+            )
+
     fresh = parallel_map(
         execute,
         [requests[groups[key][0]] for key in pending],
         processes,
+        progress=progress,
     )
     for key, stats in zip(pending, fresh):
         cache.put(key, stats)

@@ -43,6 +43,8 @@ from typing import Callable
 from repro.errors import ConfigurationError, SimulationError
 from repro.arch.chip import STALLED, Chip
 from repro.arch.column_exec import compile_column_runner
+from repro.obs.events import BUS
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.stats import SimulationStats, collect
 
 #: Default run budget in reference ticks.  Exhausting it raises
@@ -1088,16 +1090,42 @@ class CompiledEngine(Engine):
             "orbit_laps": 0,
             "fused_runner_calls": 0,
         }
+        #: Typed view over the same dict the hot loops mutate raw:
+        #: the registry owns instrument naming and kinds, ``_profile``
+        #: stays the fast store (``dict[key] += n`` in the inner
+        #: loops), and :meth:`profile_snapshot` renders through it.
+        self.metrics = MetricsRegistry.adopt(
+            self._profile, namespace="engine"
+        )
+        for key in self._profile:
+            if key.endswith("_s"):
+                self.metrics.gauge(key)
+            else:
+                self.metrics.counter(key)
+        if BUS.active:
+            # No wall-clock in the args: trace output must be
+            # byte-identical across identical runs (the exporter
+            # determinism contract); compile_s stays readable through
+            # profile_snapshot().
+            BUS.instant(
+                "engine_compiled",
+                tick=chip.reference_ticks,
+                track="engine",
+                args={"columns": len(chip.columns)},
+            )
 
     def profile_snapshot(self) -> dict:
         """Phase timings and event counters for ``--profile`` runs.
 
-        Timing keys are populated only when :attr:`profile_enabled`
-        was set before the run; counter keys are always exact.  The
-        runner aggregate folds in every column's pre-execution
-        statistics (calls, edges consumed, vectorized batches).
+        Compatibility view over :attr:`metrics` - same keys as ever,
+        so the ``BENCH_engine.json`` profile schema and the CI counter
+        checks are unaffected by the registry migration.  Timing keys
+        are populated only when :attr:`profile_enabled` was set before
+        the run; counter keys are always exact.  The runner aggregate
+        folds in every column's pre-execution statistics (calls, edges
+        consumed, vectorized batches).
         """
-        data = dict(self._profile)
+        data = self.metrics.snapshot()
         calls = edges = batches = iterations = 0
         for runner in self._runners:
             if runner is None:
@@ -1230,6 +1258,9 @@ class CompiledEngine(Engine):
         """
         chip = self.chip
         start = chip.reference_ticks
+        tracing = BUS.active
+        if tracing:
+            window_pre = self._window_open()
         initial_cycles = [
             column.tile_cycles for column in chip.columns
         ]
@@ -1256,7 +1287,67 @@ class CompiledEngine(Engine):
         if profiling:
             self._profile["settle_s"] += perf_counter() - mark
         chip.reference_ticks = end
+        if tracing:
+            self._window_close(window_pre, start, end, phase[:-2])
         return end
+
+    #: Profile counters whose per-window deltas ride on the window
+    #: span's args when a sink is subscribed.
+    WINDOW_DELTA_KEYS = (
+        "dense_ticks", "sparse_steps", "batch_events",
+        "batched_ticks", "parked_edges", "lockstep_batches",
+        "orbit_laps", "fused_runner_calls",
+    )
+
+    def _window_open(self) -> tuple:
+        """Baselines for window-granularity telemetry (tracing only)."""
+        profile = self._profile
+        return (
+            [column.halted for column in self.chip.columns],
+            [profile[key] for key in self.WINDOW_DELTA_KEYS],
+        )
+
+    def _window_close(
+        self, pre: tuple, start: int, end: int, phase: str
+    ) -> None:
+        """Emit the window's telemetry: one engine-track span with the
+        profile-counter deltas, plus per-clock-domain tracks (divider
+        rung, relock-gated stretch, cumulative issue/stall counters,
+        halt instants)."""
+        chip = self.chip
+        halted_pre, counters_pre = pre
+        profile = self._profile
+        deltas = {
+            key: profile[key] - base
+            for key, base in zip(self.WINDOW_DELTA_KEYS, counters_pre)
+            if profile[key] != base
+        }
+        BUS.span(
+            f"window:{phase}", start, end, track="engine",
+            args=deltas,
+        )
+        dividers = chip.clock.dividers
+        gates = chip.clock_gate_until
+        for index, column in enumerate(chip.columns):
+            track = f"column{index}"
+            BUS.counter(
+                "divider", dividers[index], tick=start, track=track,
+            )
+            if gates[index] > start:
+                BUS.span(
+                    "gated", start, min(gates[index], end),
+                    track=track,
+                )
+            BUS.counter(
+                "issued", column.controller.issued, tick=end,
+                track=track,
+            )
+            BUS.counter(
+                "comm_stalls", column.comm_stalls, tick=end,
+                track=track,
+            )
+            if column.halted and not halted_pre[index]:
+                BUS.instant("halted", tick=end, track=track)
 
     def _sparse_until(self, start: int, limit: int) -> int:
         """No DOU to step: settle each live column independently.
@@ -1996,6 +2087,21 @@ class CompiledEngine(Engine):
             profile["parked_edges"] += adds[3] * rounds
             profile["orbit_laps"] += adds[4] * rounds
             profile["fused_runner_calls"] += adds[5] * rounds
+        if BUS.active:
+            if rounds:
+                BUS.instant(
+                    "lockstep_replay", tick=tick, track="engine",
+                    args={
+                        "rounds": rounds,
+                        "round_ticks": period,
+                        "orbit_laps": plan.adds[4] * rounds,
+                    },
+                )
+            else:
+                BUS.instant(
+                    "lockstep_abort", tick=tick, track="engine",
+                    args={"round_ticks": period},
+                )
         return tick, rounds
 
     # ------------------------------------------------------------------
@@ -2069,6 +2175,8 @@ class CompiledEngine(Engine):
         chip.reference_ticks = start + ticks
         if profiling:
             self._profile["drain_s"] += perf_counter() - mark
+        if BUS.active:
+            BUS.span("drain", start, start + ticks, track="engine")
 
 
 #: Engine registry by name - the lookup behind :func:`create_engine`
@@ -2091,6 +2199,14 @@ AUTO_ENGINE = "auto"
 #: the driver reads the snapshots off the registered engines when the
 #: workload returns.  Owned by ``repro.eval.engines``; not
 #: thread-safe; ``None`` (the default) costs the hot path nothing.
+#:
+#: .. deprecated::
+#:     Kept as a compatibility shim for existing benchmark drivers.
+#:     New consumers should read the typed
+#:     :attr:`CompiledEngine.metrics` registry on an engine they
+#:     hold, or subscribe a sink to :data:`repro.obs.events.BUS` when
+#:     they never see the engine object - see
+#:     ``docs/observability.md``.
 PROFILE_REGISTRY: list | None = None
 
 

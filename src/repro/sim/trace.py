@@ -1,8 +1,21 @@
-"""Optional execution tracing for debugging schedules."""
+"""Optional execution tracing for debugging schedules.
+
+The :class:`Tracer` has two feeds into the same bounded buffer:
+
+* the reference engine's observer hook - ``record(tick, column,
+  outcome, pc)`` per tile-clock step, the tick-accurate view;
+* the telemetry bus - subscribe the tracer with
+  ``with subscribed(tracer): ...`` and every per-column event the
+  *compiled* engine emits (window activity, relock gates, halts)
+  lands as a :class:`TraceEvent` too, so striding runs are traceable
+  without forcing them onto the tick-by-tick path.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.obs.events import Event
 
 
 @dataclass(frozen=True)
@@ -22,8 +35,13 @@ class Tracer:
         if limit < 1:
             raise ValueError("limit must be positive")
         self.limit = limit
-        self.events: list = []
+        self.events: list[TraceEvent] = []
         self.dropped = 0
+
+    @property
+    def total(self) -> int:
+        """Everything seen: recorded events plus dropped overflow."""
+        return len(self.events) + self.dropped
 
     def record(self, tick: int, column: int, outcome: str, pc: int) -> None:
         """Append one event, dropping past the limit."""
@@ -32,7 +50,31 @@ class Tracer:
             return
         self.events.append(TraceEvent(tick, column, outcome, pc))
 
-    def for_column(self, column: int) -> list:
+    def handle(self, event: Event) -> None:
+        """Telemetry-bus sink: fold column-track events into the trace.
+
+        Events on a ``column<i>`` track become :class:`TraceEvent`
+        entries with the bus event's name as the outcome (``pc`` comes
+        from the event args when present, -1 otherwise); events on
+        layer tracks (``engine``, ``governor``, ...) carry no column
+        and are skipped.  The buffer limit applies exactly as for
+        :meth:`record`.
+        """
+        track = event.track
+        if not track.startswith("column"):
+            return
+        try:
+            column = int(track[len("column"):])
+        except ValueError:
+            return
+        self.record(
+            event.tick if event.tick is not None else 0,
+            column,
+            event.name,
+            event.args.get("pc", -1),
+        )
+
+    def for_column(self, column: int) -> list[TraceEvent]:
         """Events of one column, in order."""
         return [e for e in self.events if e.column == column]
 

@@ -55,6 +55,49 @@ def test_smoke_mismatch_fails(capsys):
     assert any("smoke" in f for f in failures)
 
 
+def _profile(**overrides):
+    block = {
+        name: 0 for name in bench_compare.REQUIRED_PROFILE_COUNTERS
+    }
+    block.update(overrides)
+    return block
+
+
+def test_complete_profile_block_passes():
+    fresh = _artifact({"fir": 3.0})
+    fresh["workloads"]["fir"]["profile"] = _profile()
+    assert bench_compare.compare(fresh, _artifact({"fir": 3.0}), 0.2) == []
+
+
+def test_profile_missing_counters_fails_with_named_diff(capsys):
+    fresh = _artifact({"fir": 3.0})
+    profile = _profile()
+    del profile["lockstep_batches"]
+    del profile["orbit_laps"]
+    fresh["workloads"]["fir"]["profile"] = profile
+    failures = bench_compare.compare(fresh, _artifact({"fir": 3.0}), 0.2)
+    assert len(failures) == 1
+    assert "lockstep_batches" in failures[0]
+    assert "orbit_laps" in failures[0]
+    assert "fir" in failures[0]
+
+
+def test_profile_schema_checked_on_extra_workloads():
+    # A workload absent from the baseline skips the speedup gate but
+    # still has its profile schema enforced.
+    fresh = _artifact({"fir": 3.0, "new_workload": 1.0})
+    fresh["workloads"]["new_workload"]["profile"] = {"dense_ticks": 1}
+    failures = bench_compare.compare(fresh, _artifact({"fir": 3.0}), 0.2)
+    assert len(failures) == 1 and "new_workload" in failures[0]
+
+
+def test_profile_block_is_optional():
+    # Runs without --profile carry no block; nothing to validate.
+    assert bench_compare.validate_profile_schema(
+        "fir", {"speedup": 3.0}
+    ) == []
+
+
 def test_improvements_and_extras_never_fail(capsys):
     baseline = _artifact({"fir": 3.0})
     fresh = _artifact({"fir": 30.0, "new_workload": 1.0})

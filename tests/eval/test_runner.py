@@ -34,3 +34,9 @@ def test_cli_output_directory(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "wrote" in out
     assert (tmp_path / "table1.txt").exists()
+
+
+def test_trace_requires_engines(capsys):
+    with pytest.raises(SystemExit):
+        main(["--trace", "out.json"])
+    assert "--engines" in capsys.readouterr().err

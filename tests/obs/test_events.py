@@ -1,0 +1,122 @@
+"""Event bus: typed events, subscription, the inactive fast path."""
+
+import pytest
+
+from repro.obs.events import (
+    BUS,
+    CounterEvent,
+    EventBus,
+    InstantEvent,
+    SpanEvent,
+    subscribed,
+)
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+
+    def handle(self, event):
+        self.events.append(event)
+
+
+def test_inactive_until_subscribed():
+    bus = EventBus()
+    assert not bus.active
+    sink = bus.subscribe(Collector())
+    assert bus.active
+    bus.unsubscribe(sink)
+    assert not bus.active
+
+
+def test_emission_helpers_build_typed_events():
+    bus = EventBus()
+    sink = bus.subscribe(Collector())
+    bus.span("w", 10, 25, track="column0", args={"phase": "dense"})
+    bus.instant("halted", tick=25, track="column1")
+    bus.counter("divider", 3, tick=10, track="column0")
+    span, instant, counter = sink.events
+    assert isinstance(span, SpanEvent)
+    assert span.tick == 10 and span.duration == 15
+    assert span.args["phase"] == "dense"
+    assert isinstance(instant, InstantEvent)
+    assert instant.tick == 25 and instant.track == "column1"
+    assert isinstance(counter, CounterEvent)
+    assert counter.value == 3
+
+
+def test_negative_span_duration_rejected():
+    with pytest.raises(ValueError):
+        SpanEvent(
+            name="w", category="engine", track="engine", tick=10,
+            duration=-1,
+        )
+
+
+def test_bare_callable_is_a_sink():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.instant("x")
+    assert len(seen) == 1 and seen[0].name == "x"
+
+
+def test_non_sink_rejected():
+    bus = EventBus()
+    with pytest.raises(TypeError):
+        bus.subscribe(object())
+
+
+def test_double_subscribe_is_noop():
+    bus = EventBus()
+    sink = Collector()
+    bus.subscribe(sink)
+    bus.subscribe(sink)
+    bus.instant("x")
+    assert len(sink.events) == 1
+
+
+def test_fanout_to_every_sink():
+    bus = EventBus()
+    first, second = Collector(), Collector()
+    bus.subscribe(first)
+    bus.subscribe(second)
+    bus.instant("x")
+    assert len(first.events) == len(second.events) == 1
+
+
+def test_unsubscribe_keeps_other_sinks_active():
+    bus = EventBus()
+    first, second = Collector(), Collector()
+    bus.subscribe(first)
+    bus.subscribe(second)
+    bus.unsubscribe(first)
+    assert bus.active
+    bus.instant("x")
+    assert not first.events and len(second.events) == 1
+
+
+def test_sink_errors_propagate():
+    bus = EventBus()
+
+    def broken(event):
+        raise RuntimeError("exporter died")
+
+    bus.subscribe(broken)
+    with pytest.raises(RuntimeError):
+        bus.instant("x")
+
+
+def test_subscribed_contextmanager_never_leaks():
+    sink = Collector()
+    with pytest.raises(RuntimeError):
+        with subscribed(sink):
+            assert BUS.active
+            raise RuntimeError("mid-run failure")
+    assert not BUS.active
+
+
+def test_global_bus_default_inactive():
+    # Other tests and the engine's untraced fast path both rely on
+    # the process-wide bus resting inactive.
+    assert not BUS.active

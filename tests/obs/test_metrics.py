@@ -1,0 +1,82 @@
+"""Metrics registry: typed instruments over an adoptable store."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("events")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert registry.snapshot()["events"] == 5
+
+
+def test_counter_rejects_negative():
+    counter = MetricsRegistry().counter("events")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_add():
+    gauge = MetricsRegistry().gauge("dense_s")
+    gauge.set(1.5)
+    gauge.add(0.5)
+    assert gauge.value == 2.0
+
+
+def test_adopted_store_is_shared_both_ways():
+    # The compiled engine's pattern: hot loops mutate the dict raw,
+    # the registry reads/writes the same slots.
+    store = {"dense_ticks": 10}
+    registry = MetricsRegistry.adopt(store, namespace="engine")
+    counter = registry.counter("dense_ticks")
+    assert counter.value == 10
+    store["dense_ticks"] += 5  # raw hot-loop increment
+    assert counter.value == 15
+    counter.inc(1)
+    assert store["dense_ticks"] == 16
+    assert registry.snapshot()["dense_ticks"] == 16
+
+
+def test_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    assert registry.kind("x") == "counter"
+
+
+def test_histogram_buckets_and_stats():
+    histogram = MetricsRegistry().histogram("lat", bounds=[1, 10, 100])
+    for value in (0, 1, 5, 50, 500):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.min == 0 and histogram.max == 500
+    assert histogram.mean == pytest.approx(111.2)
+    rendered = histogram.to_dict()
+    assert rendered["buckets"] == {
+        "<=1": 2, "<=10": 1, "<=100": 1, ">100": 1,
+    }
+
+
+def test_histogram_requires_bounds():
+    with pytest.raises(ValueError):
+        Histogram("empty", bounds=[])
+
+
+def test_histogram_renders_in_snapshot():
+    registry = MetricsRegistry()
+    registry.histogram("lat", bounds=[10]).observe(3)
+    snapshot = registry.snapshot()
+    assert snapshot["lat"]["count"] == 1
+
+
+def test_snapshot_includes_unregistered_adopted_keys():
+    # Adopted stores may carry keys never registered through the
+    # typed API; the snapshot is a view of everything.
+    registry = MetricsRegistry.adopt({"raw_key": 7})
+    assert registry.snapshot() == {"raw_key": 7}
+    assert registry.kind("raw_key") is None

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs.events import BUS, subscribed
 from repro.sim.trace import TraceEvent, Tracer
 
 
@@ -32,3 +33,52 @@ def test_event_fields():
     event = TraceEvent(3, 1, "issued", 7)
     assert event.tick == 3
     assert event.pc == 7
+
+
+def test_total_counts_recorded_and_dropped():
+    tracer = Tracer(limit=2)
+    for tick in range(5):
+        tracer.record(tick, 0, "issued", tick)
+    assert tracer.total == 5
+    assert len(tracer.events) == 2
+
+
+def test_bus_subscription_folds_column_events():
+    tracer = Tracer()
+    with subscribed(tracer):
+        BUS.instant("halted", tick=40, track="column1")
+        BUS.counter("divider", 4, tick=0, track="column0")
+        BUS.span("window:dense", 0, 100, track="engine")  # no column
+        BUS.instant("govern", tick=8, track="governor")   # no column
+    assert tracer.total == 2
+    halted = tracer.for_column(1)
+    assert len(halted) == 1
+    assert halted[0].tick == 40
+    assert halted[0].outcome == "halted"
+    assert halted[0].pc == -1
+
+
+def test_bus_subscription_traces_compiled_runs():
+    # The compiled engine never calls the observer hook (that would
+    # force the reference path); the bus subscription is how its runs
+    # become traceable.
+    from repro.eval.engines import build_ddc_stream_chip
+    from repro.sim.engine import create_engine
+
+    tracer = Tracer()
+    with subscribed(tracer):
+        create_engine(
+            "compiled", build_ddc_stream_chip(samples=20)
+        ).run()
+    assert tracer.total > 0
+    assert tracer.for_column(0) and tracer.for_column(1)
+
+
+def test_bus_subscription_respects_limit():
+    tracer = Tracer(limit=1)
+    with subscribed(tracer):
+        BUS.instant("halted", tick=1, track="column0")
+        BUS.instant("halted", tick=2, track="column0")
+    assert len(tracer.events) == 1
+    assert tracer.dropped == 1
+    assert tracer.total == 2

@@ -31,6 +31,10 @@ Rules:
   tier, so its share creeping up means a striding tier (lockstep
   rounds, orbit batches) quietly stopped engaging even if the
   headline ratio still scrapes by;
+* a fresh entry carrying a ``profile`` block must contain every
+  counter in :data:`REQUIRED_PROFILE_COUNTERS`; missing ones fail
+  with a named diff (a renamed or dropped counter would otherwise
+  read as zero and silently pass);
 * unknown keys anywhere in either artifact are ignored, and a
   baseline entry missing a field this tool reads is skipped with a
   note instead of failing - older tools must keep working as the
@@ -51,6 +55,36 @@ DEFAULT_BASELINE = Path(__file__).parent.parent / "benchmarks" \
 # partition a run's attributed wall time.  Missing keys read as zero
 # so artifacts from before a bucket existed still compare.
 _PHASE_BUCKETS = ("dense_s", "sparse_s", "settle_s", "drain_s")
+
+#: The declared profile schema: every counter a ``--profile`` run
+#: must record.  Fresh entries carrying a ``profile`` block are
+#: validated against this set - extra keys stay ignored (forward
+#: compat), but a missing required counter fails with a named diff.
+REQUIRED_PROFILE_COUNTERS = (
+    "compile_s", "dense_s", "sparse_s", "settle_s", "drain_s",
+    "dense_ticks", "batch_events", "batched_ticks", "sparse_steps",
+    "parked_edges", "lockstep_batches", "orbit_laps",
+    "fused_runner_calls", "runner_calls", "runner_edges",
+    "vector_batches", "vector_iterations",
+)
+
+
+def validate_profile_schema(key: str, entry: dict) -> list:
+    """Failure strings for one fresh entry's profile block.
+
+    Empty when the entry has no profile block (runs without
+    ``--profile``) or when every required counter is present.
+    """
+    profile = entry.get("profile")
+    if not isinstance(profile, dict):
+        return []
+    missing = sorted(set(REQUIRED_PROFILE_COUNTERS) - set(profile))
+    if missing:
+        return [
+            f"{key}: profile block is missing required counters: "
+            + ", ".join(missing)
+        ]
+    return []
 
 
 def _dense_share(entry: dict) -> float | None:
@@ -101,6 +135,7 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
             print(f"{key:<16} {base_entry['speedup']:>8.2f}x "
                   f"{'-':>9} {'-':>8}  MISSING")
             continue
+        failures.extend(validate_profile_schema(key, fresh_entry))
         base_speedup = base_entry.get("speedup")
         fresh_speedup = fresh_entry.get("speedup")
         if base_speedup is None or fresh_speedup is None:
@@ -137,6 +172,12 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
             )
     extra = sorted(set(fresh_workloads) - set(baseline_workloads))
     if extra:
+        # No speedup anchor to compare against, but the profile
+        # schema still applies to brand-new workloads.
+        for key in extra:
+            failures.extend(
+                validate_profile_schema(key, fresh_workloads[key])
+            )
         print(f"(not in baseline, unchecked: {', '.join(extra)})")
     return failures
 

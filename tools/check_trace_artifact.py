@@ -1,0 +1,131 @@
+"""Validate a CI trace artifact as loadable Chrome-trace JSON.
+
+CI's engines smoke step writes a Perfetto/Chrome-trace timeline next
+to ``BENCH_engine.json`` (``runner --engines --trace``); this check
+fails the build when that artifact would not load in
+``chrome://tracing`` / https://ui.perfetto.dev - a malformed trace
+uploaded silently is worse than none, because whoever downloads it
+discovers the breakage days later with the run long gone.
+
+Usage::
+
+    python tools/check_trace_artifact.py bench-artifacts/trace.json
+    python tools/check_trace_artifact.py trace.json \
+        --require-track column0 --require-track governor
+
+Checks (stdlib only - CI runs the tools without the package on the
+path):
+
+* the file parses as JSON and carries a non-empty ``traceEvents``
+  list;
+* every event has a known phase, a name, integer pid/tid, a numeric
+  ``ts`` (metadata excepted), and complete events a non-negative
+  ``dur``;
+* at least one per-clock-domain track (a ``column<i>`` thread-name
+  metadata row) exists, plus any explicitly required track names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_KNOWN_PHASES = ("X", "i", "C", "M", "B", "E")
+
+
+def check(payload, required_tracks: list) -> list:
+    """Problem strings for one trace payload (empty = valid)."""
+    problems = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    if not events:
+        return ["traceEvents is empty"]
+    tracks = set()
+    for index, entry in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = entry.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str):
+            problems.append(f"{where}: missing name")
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(entry.get(field), int):
+                problems.append(f"{where}: non-integer {field}")
+        if phase != "M" and not isinstance(
+            entry.get("ts"), (int, float)
+        ):
+            problems.append(f"{where}: non-numeric ts")
+        if phase == "X":
+            duration = entry.get("dur")
+            if not isinstance(duration, (int, float)):
+                problems.append(f"{where}: complete event missing dur")
+            elif duration < 0:
+                problems.append(f"{where}: negative dur {duration}")
+        if phase == "M" and name == "thread_name":
+            track = entry.get("args", {}).get("name")
+            if isinstance(track, str):
+                tracks.add(track)
+    if not any(
+        track.startswith("column") for track in tracks
+    ):
+        problems.append(
+            "no per-clock-domain track (column<i>) in the trace; "
+            f"tracks present: {sorted(tracks) or 'none'}"
+        )
+    for track in required_tracks:
+        if track not in tracks:
+            problems.append(
+                f"required track {track!r} missing; present: "
+                f"{sorted(tracks)}"
+            )
+    return problems
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a trace artifact is not valid "
+                    "Chrome-trace JSON."
+    )
+    parser.add_argument(
+        "trace", metavar="TRACE_JSON",
+        help="the trace artifact to validate",
+    )
+    parser.add_argument(
+        "--require-track", action="append", dest="tracks",
+        default=[], metavar="NAME",
+        help="fail unless a track with this thread name exists "
+             "(repeatable)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        payload = json.loads(Path(args.trace).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: {args.trace}: {error}", file=sys.stderr)
+        return 1
+    problems = check(payload, args.tracks)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    events = payload["traceEvents"]
+    timed = sum(1 for e in events if e.get("ph") != "M")
+    print(
+        f"{args.trace}: valid Chrome trace "
+        f"({timed} events, {len(events) - timed} metadata rows)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
