@@ -25,6 +25,20 @@ class SimulationError(ReproError):
     """The cycle-level simulator reached an illegal machine state."""
 
 
+class BatchError(ReproError):
+    """A batched run failed after every permitted retry.
+
+    Carries the originating job's ``label`` and, when the supervision
+    layer produced one, the terminal
+    :class:`~repro.sim.resilience.JobOutcome` under ``outcome``.
+    """
+
+    def __init__(self, message, label=None, outcome=None):
+        super().__init__(message)
+        self.label = label
+        self.outcome = outcome
+
+
 class SdfError(ReproError):
     """A synchronous dataflow graph is inconsistent or unschedulable."""
 

@@ -11,6 +11,8 @@ Options::
     python -m repro.eval.runner --coordinated        # pipeline eval
     python -m repro.eval.runner --engines --profile  # engine bench
     python -m repro.eval.runner --engines --trace trace.json  # timeline
+    python -m repro.eval.runner --measured \
+        --retries 2 --job-timeout 300 --keep-going  # supervised jobs
 
 Experiments are independent pure functions of the model, so they
 render concurrently through :func:`repro.sim.batch.parallel_map`.
@@ -46,9 +48,18 @@ ticks, batched jumps, settlement, drain) in the JSON payload, and
 the timeline-bearing workloads (after the timing loops, so sinks
 never touch the recorded wall clocks).
 
+``--job-timeout`` / ``--retries`` / ``--keep-going`` install a
+process-default :class:`~repro.sim.resilience.FaultPolicy`, routing
+every batched simulation job through the supervised fault-tolerant
+plane (retry with deterministic backoff, per-job timeouts, worker
+crash containment, compiled-to-reference engine degradation - see
+``docs/robustness.md``).
+
 Every BENCH artifact carries a ``telemetry`` block - event counts by
 kind and category from the run's bus subscription plus the
-traced/untraced overhead ratio where one was measured - stamped by
+traced/untraced overhead ratio where one was measured - and an
+``outcomes`` block tallying supervised-job results (retries,
+timeouts, crashes, degradations, cache quarantines), both stamped by
 :func:`emit_artifact`, the single emit path all four evaluations
 share.
 """
@@ -154,6 +165,7 @@ def emit_artifact(
     output: str | None,
     renders: list | None = None,
     telemetry: dict | None = None,
+    outcomes: dict | None = None,
 ) -> Path:
     """The one emit path every BENCH evaluation shares.
 
@@ -164,12 +176,25 @@ def emit_artifact(
     announces the written path.  ``telemetry`` defaults to an
     explicit zero block so consumers can distinguish "nothing
     subscribed" from "field missing".
+
+    Also stamps the run's job-outcome tallies (retries, timeouts,
+    worker crashes, engine degradations, cache quarantines) from
+    :func:`repro.sim.resilience.outcomes_snapshot` under
+    ``outcomes`` - a benchmark artifact produced by a run that
+    silently retried or degraded jobs is not comparable, and
+    ``tools/check_outcomes_artifact.py`` /
+    ``tools/bench_compare.py`` hold the line in CI.
     """
     summary = dict(telemetry) if telemetry is not None else {
         "events": 0, "by_kind": {}, "by_category": {},
     }
     summary.setdefault("overhead_ratio", None)
     payload["telemetry"] = summary
+    if outcomes is None:
+        from repro.sim.resilience import outcomes_snapshot
+
+        outcomes = outcomes_snapshot()
+    payload["outcomes"] = dict(outcomes)
     for text in renders or ():
         if text:
             print(text)
@@ -233,7 +258,37 @@ def main(argv: list | None = None) -> None:
              "with the telemetry bus subscribed (after the timing "
              "loops) and write a Chrome-trace/Perfetto JSON to FILE",
     )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget for batched simulation jobs; "
+             "over-budget workers are terminated and the job retried "
+             "(enables the supervised batch plane)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry each failed/timed-out/crashed batch job up to N "
+             "times with deterministic exponential backoff "
+             "(enables the supervised batch plane; default 2 when "
+             "another supervision flag is given)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="collect-partial mode: supervise every batch job to a "
+             "typed outcome instead of aborting the sweep on the "
+             "first terminal failure",
+    )
     args = parser.parse_args(argv)
+    if (
+        args.job_timeout is not None or args.retries is not None
+        or args.keep_going
+    ):
+        from repro.sim.resilience import FaultPolicy, set_default_policy
+
+        set_default_policy(FaultPolicy(
+            max_retries=args.retries if args.retries is not None else 2,
+            timeout_s=args.job_timeout,
+            keep_going=args.keep_going,
+        ))
     if args.profile and not args.engines:
         parser.error("--profile only applies to --engines")
     if args.trace and not args.engines:

@@ -27,6 +27,12 @@ from repro.sim.engine import (
     ReferenceEngine,
     create_engine,
 )
+from repro.sim.faultinject import FaultInjector, FaultSpec
+from repro.sim.resilience import (
+    FaultPolicy,
+    JobOutcome,
+    run_many_outcomes,
+)
 from repro.sim.simulator import Simulator, run_single_column
 from repro.sim.stats import ColumnStats, SimulationStats
 from repro.sim.trace import TraceEvent, Tracer
@@ -35,6 +41,10 @@ __all__ = [
     "BatchResult",
     "CompiledEngine",
     "Engine",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultSpec",
+    "JobOutcome",
     "ReferenceEngine",
     "ResultCache",
     "RunRequest",
@@ -42,6 +52,7 @@ __all__ = [
     "create_engine",
     "parallel_map",
     "run_many",
+    "run_many_outcomes",
     "run_single_column",
     "ColumnStats",
     "SimulationStats",

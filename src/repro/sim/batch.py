@@ -124,13 +124,34 @@ def execute(request: RunRequest) -> SimulationStats:
     )
 
 
+#: On-disk cache format stamp: every payload starts with this magic
+#: so a format bump (or a file from another tool entirely) reads as
+#: corrupt-and-quarantined instead of unpickling garbage.
+CACHE_MAGIC = b"RSTATS2\n"
+
+
 class ResultCache:
     """Content-addressed stats cache: memory first, disk optional.
 
     With a ``directory`` every stored result is also pickled to
     ``<directory>/<key>.stats`` and survives the process; without one
     the cache is a plain in-memory memo.
+
+    The disk tier is crash-safe: payloads are written to a temporary
+    file and atomically renamed (a process dying mid-write never
+    leaves a torn entry under the final name), every payload carries
+    the :data:`CACHE_MAGIC` format stamp plus a SHA-256 checksum
+    sidecar (``<key>.sha256``) verified on load, and anything that
+    fails verification - truncated pickle, flipped bytes, missing
+    sidecar, unknown format - is moved to ``<directory>/quarantine/``
+    and treated as a miss (a ``cache_corrupt`` event on the bus, the
+    ``cache_quarantined`` outcome counter, and :attr:`quarantined`
+    record the eviction).
     """
+
+    #: Bumped whenever the on-disk layout changes; encoded in
+    #: :data:`CACHE_MAGIC` so older entries quarantine cleanly.
+    FORMAT = 2
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self._memory: dict = {}
@@ -139,29 +160,90 @@ class ResultCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.stats"
+
+    def _sidecar(self, key: str) -> Path:
+        return self.directory / f"{key}.sha256"
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Evict a corrupt entry (payload + sidecar) out of the way."""
+        quarantine = self.directory / "quarantine"
+        quarantine.mkdir(exist_ok=True)
+        for target in (self._path(key), self._sidecar(key)):
+            if target.exists():
+                os.replace(target, quarantine / target.name)
+        self.quarantined += 1
+        # Lazy import: resilience imports this module at top level.
+        from repro.sim.resilience import note_cache_quarantine
+
+        note_cache_quarantine()
+        if BUS.active:
+            BUS.instant(
+                "cache_corrupt", category="batch", track="jobs",
+                args={
+                    "key": key[:12], "reason": reason,
+                    "quarantine": str(quarantine),
+                },
+            )
+
+    def _load(self, key: str) -> SimulationStats | None:
+        """Verified disk read; corrupt entries quarantine to a miss."""
+        try:
+            blob = self._path(key).read_bytes()
+            sidecar = self._sidecar(key)
+            if not sidecar.exists():
+                raise ValueError("checksum sidecar missing")
+            recorded = sidecar.read_text().strip()
+            if recorded != hashlib.sha256(blob).hexdigest():
+                raise ValueError("checksum mismatch")
+            if not blob.startswith(CACHE_MAGIC):
+                raise ValueError(
+                    f"unknown cache format (expected "
+                    f"{CACHE_MAGIC!r} stamp)"
+                )
+            return pickle.loads(blob[len(CACHE_MAGIC):])
+        except Exception as exc:
+            self._quarantine(key, f"{type(exc).__name__}: {exc}")
+            return None
 
     def get(self, key: str) -> SimulationStats | None:
         """Look a key up; counts a hit or miss."""
         stats = self._memory.get(key)
         if stats is None and self.directory is not None:
-            path = self._path(key)
-            if path.exists():
-                stats = pickle.loads(path.read_bytes())
-                self._memory[key] = stats
+            if self._path(key).exists():
+                stats = self._load(key)
+                if stats is not None:
+                    self._memory[key] = stats
         if stats is None:
             self.misses += 1
             return None
         self.hits += 1
         return stats
 
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
     def put(self, key: str, stats: SimulationStats) -> None:
-        """Store a result in memory (and on disk when configured)."""
+        """Store a result in memory (and on disk when configured).
+
+        Payload first, sidecar second: a crash in between leaves an
+        entry whose sidecar is missing, which the next :meth:`get`
+        quarantines and re-executes - never a silently torn read.
+        """
         self._memory[key] = stats
-        if self.directory is not None:
-            self._path(key).write_bytes(pickle.dumps(stats, protocol=4))
+        if self.directory is None:
+            return
+        blob = CACHE_MAGIC + pickle.dumps(stats, protocol=4)
+        self._atomic_write(self._path(key), blob)
+        self._atomic_write(
+            self._sidecar(key),
+            hashlib.sha256(blob).hexdigest().encode() + b"\n",
+        )
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -172,6 +254,7 @@ def parallel_map(
     items: Sequence,
     processes: int | None = None,
     progress: Callable[[int], None] | None = None,
+    labels: Sequence[str] | None = None,
 ) -> list:
     """Order-preserving map, fanned across worker processes.
 
@@ -181,31 +264,69 @@ def parallel_map(
     ``progress`` is invoked with each item's index as its result
     lands, in item order - always in the *calling* process, so it may
     emit telemetry (forked workers only see a dead copy of the bus).
+
+    Failure semantics: on any error (or ``KeyboardInterrupt``) the
+    pool is terminated and joined - workers never outlive the call -
+    and the first failing job's label (``labels[i]`` when given,
+    ``item i`` otherwise) is attached to the propagating exception as
+    a note, so a sweep-deep traceback names the job that died.
     """
     items = list(items)
+    if labels is not None:
+        labels = list(labels)
+        if len(labels) != len(items):
+            raise ValueError(
+                f"{len(labels)} labels for {len(items)} items"
+            )
+
+    def _label(index: int) -> str:
+        return labels[index] if labels is not None else f"item {index}"
+
     if processes is None:
         processes = min(len(items), os.cpu_count() or 1)
     if processes <= 1 or len(items) <= 1:
         out = []
         for index, item in enumerate(items):
-            out.append(fn(item))
+            try:
+                out.append(fn(item))
+            except Exception as exc:
+                exc.add_note(
+                    f"parallel_map job {_label(index)!r} raised"
+                )
+                raise
             if progress is not None:
                 progress(index)
         return out
-    with get_context().Pool(processes=processes) as pool:
-        if progress is None:
-            return pool.map(fn, items)
-        out = []
+    pool = get_context().Pool(processes=processes)
+    out = []
+    try:
         for index, result in enumerate(pool.imap(fn, items)):
             out.append(result)
-            progress(index)
+            if progress is not None:
+                progress(index)
+        pool.close()
+        pool.join()
         return out
+    except BaseException as exc:
+        # Clean teardown on any failure path, KeyboardInterrupt
+        # included: no leaked workers grinding on after the caller
+        # has given up.  imap yields in item order, so the first
+        # un-landed item is the one whose exception is propagating.
+        pool.terminate()
+        pool.join()
+        if isinstance(exc, Exception) and len(out) < len(items):
+            exc.add_note(
+                f"parallel_map job {_label(len(out))!r} raised"
+            )
+        raise
 
 
 def run_many(
     requests: Iterable[RunRequest],
     processes: int | None = None,
     cache: ResultCache | None = None,
+    policy=None,
+    injector=None,
 ) -> list[BatchResult]:
     """Execute a batch of requests, in parallel, through the cache.
 
@@ -215,7 +336,30 @@ def run_many(
     batch share a single cache lookup and a single execution (every
     copy past the first comes back ``cached=True``).  Results come
     back in request order.
+
+    With a ``policy`` (a :class:`~repro.sim.resilience.FaultPolicy`,
+    or the process default installed by
+    :func:`~repro.sim.resilience.set_default_policy`) or an
+    ``injector``, the batch runs through the supervision layer
+    instead: retries, timeouts, crash containment, and engine
+    degradation per the policy, with a
+    :class:`~repro.errors.BatchError` raised if any job still fails
+    terminally.  Callers that want per-job outcomes rather than a
+    raise use :func:`~repro.sim.resilience.run_many_outcomes`.
     """
+    if policy is None and injector is None:
+        from repro.sim import resilience
+
+        policy = resilience.default_policy()
+    if policy is not None or injector is not None:
+        from repro.sim import resilience
+
+        return resilience.to_batch_results(
+            resilience.run_many_outcomes(
+                requests, processes=processes, cache=cache,
+                policy=policy, injector=injector,
+            )
+        )
     requests = list(requests)
     cache = cache if cache is not None else ResultCache()
     keys = [request_key(request) for request in requests]

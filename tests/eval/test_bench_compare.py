@@ -132,3 +132,73 @@ def test_cli_exit_codes(tmp_path):
     assert bench_compare.main(
         [str(bad), "--baseline", str(baseline_path)]
     ) == 1
+
+
+def _outcomes(**overrides):
+    block = {name: 0 for name in bench_compare.OUTCOME_KEYS}
+    block.update(overrides)
+    return block
+
+
+def test_clean_outcomes_block_passes(capsys):
+    fresh = _artifact({"fir": 3.0})
+    fresh["outcomes"] = _outcomes(ok=12)
+    baseline = _artifact({"fir": 3.0})
+    baseline["outcomes"] = _outcomes(ok=12)
+    assert bench_compare.compare(fresh, baseline, 0.2) == []
+    out = capsys.readouterr().out
+    assert "outcome" in out and "NOT-CLEAN" not in out
+
+
+def test_fresh_retries_fail_the_gate(capsys):
+    fresh = _artifact({"fir": 3.0})
+    fresh["outcomes"] = _outcomes(ok=11, retries=2, timed_out=2)
+    failures = bench_compare.compare(
+        fresh, _artifact({"fir": 3.0}), 0.2
+    )
+    assert len(failures) == 1 and "retries" in failures[0]
+    assert "NOT-CLEAN" in capsys.readouterr().out
+
+
+def test_fresh_degraded_jobs_fail_the_gate():
+    fresh = _artifact({"fir": 3.0})
+    fresh["outcomes"] = _outcomes(ok=12, degraded=1)
+    failures = bench_compare.compare(
+        fresh, _artifact({"fir": 3.0}), 0.2
+    )
+    assert len(failures) == 1 and "degraded" in failures[0]
+
+
+def test_baseline_outcomes_never_fail_the_fresh_run(capsys):
+    # Only the fresh run's cleanliness gates; a baseline recorded
+    # before the counters existed (or with old faults) still compares.
+    fresh = _artifact({"fir": 3.0})
+    fresh["outcomes"] = _outcomes(ok=12)
+    baseline = _artifact({"fir": 3.0})
+    baseline["outcomes"] = _outcomes(ok=12, retries=3, degraded=1)
+    assert bench_compare.compare(fresh, baseline, 0.2) == []
+
+
+def test_missing_outcomes_blocks_are_forward_compatible(capsys):
+    # Neither artifact has a block: no table, no failures.
+    assert bench_compare.compare(
+        _artifact({"fir": 3.0}), _artifact({"fir": 3.0}), 0.2
+    ) == []
+    assert "outcome" not in capsys.readouterr().out
+    # Baseline predates the block: fresh still gated.
+    fresh = _artifact({"fir": 3.0})
+    fresh["outcomes"] = _outcomes(ok=12, retries=1)
+    failures = bench_compare.compare(
+        fresh, _artifact({"fir": 3.0}), 0.2
+    )
+    assert len(failures) == 1 and "retries" in failures[0]
+
+
+def test_unknown_outcome_keys_and_junk_counts_are_ignored():
+    fresh = _artifact({"fir": 3.0})
+    fresh["outcomes"] = _outcomes(
+        ok=12, future_counter=7, retries="not-a-number"
+    )
+    assert bench_compare.compare(
+        fresh, _artifact({"fir": 3.0}), 0.2
+    ) == []

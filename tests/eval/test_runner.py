@@ -40,3 +40,69 @@ def test_trace_requires_engines(capsys):
     with pytest.raises(SystemExit):
         main(["--trace", "out.json"])
     assert "--engines" in capsys.readouterr().err
+
+
+def test_supervision_flags_install_a_default_policy(capsys):
+    from repro.sim.resilience import (
+        default_policy,
+        set_default_policy,
+    )
+
+    assert default_policy() is None
+    try:
+        main([
+            "--experiment", "table1",
+            "--job-timeout", "120", "--retries", "3", "--keep-going",
+        ])
+        policy = default_policy()
+        assert policy is not None
+        assert policy.max_retries == 3
+        assert policy.timeout_s == 120.0
+        assert policy.keep_going is True
+    finally:
+        set_default_policy(None)
+
+
+def test_no_supervision_flags_leave_the_fast_path_alone():
+    from repro.sim.resilience import default_policy
+
+    main(["--experiment", "table1"])
+    assert default_policy() is None
+
+
+def test_emit_artifact_stamps_outcomes_block(tmp_path):
+    from repro.eval.runner import emit_artifact
+    from repro.sim.resilience import reset_outcome_counters
+
+    captured = {}
+
+    def fake_write_bench(output, payload):
+        captured.update(payload)
+        return tmp_path / "BENCH_fake.json"
+
+    reset_outcome_counters()
+    emit_artifact(
+        {"artifact": "BENCH_fake"}, fake_write_bench, str(tmp_path)
+    )
+    outcomes = captured["outcomes"]
+    assert set(outcomes) >= {
+        "ok", "degraded", "failed", "timed_out", "worker_crashed",
+        "retries", "cache_quarantined",
+    }
+    assert all(count == 0 for count in outcomes.values())
+
+
+def test_emit_artifact_accepts_explicit_outcomes(tmp_path):
+    from repro.eval.runner import emit_artifact
+
+    captured = {}
+
+    def fake_write_bench(output, payload):
+        captured.update(payload)
+        return tmp_path / "BENCH_fake.json"
+
+    emit_artifact(
+        {"artifact": "BENCH_fake"}, fake_write_bench, str(tmp_path),
+        outcomes={"ok": 7, "retries": 1},
+    )
+    assert captured["outcomes"] == {"ok": 7, "retries": 1}

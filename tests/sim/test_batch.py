@@ -121,3 +121,117 @@ def test_parallel_map_serial_and_pooled_agree():
 
 def test_parallel_map_empty():
     assert parallel_map(_square, []) == []
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x * x
+
+
+def test_parallel_map_attaches_job_label_serial():
+    with pytest.raises(ValueError) as excinfo:
+        parallel_map(
+            _explode_on_three, [1, 3, 5], processes=1,
+            labels=["a", "b", "c"],
+        )
+    assert any("'b'" in note for note in excinfo.value.__notes__)
+
+
+def test_parallel_map_attaches_job_label_pooled():
+    with pytest.raises(ValueError) as excinfo:
+        parallel_map(
+            _explode_on_three, [1, 2, 3, 4], processes=2,
+            labels=["w", "x", "y", "z"],
+        )
+    assert any("'y'" in note for note in excinfo.value.__notes__)
+
+
+def test_parallel_map_default_labels_name_the_item_index():
+    with pytest.raises(ValueError) as excinfo:
+        parallel_map(_explode_on_three, [0, 3], processes=2)
+    assert any("item 1" in note for note in excinfo.value.__notes__)
+
+
+def test_parallel_map_rejects_mismatched_labels():
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1, 2], labels=["only-one"])
+
+
+def test_parallel_map_pool_is_usable_after_worker_error():
+    # A failing batch must terminate its pool cleanly (no leaked
+    # workers wedging the next call) and leave parallel_map fully
+    # functional.
+    with pytest.raises(ValueError):
+        parallel_map(_explode_on_three, [3, 1], processes=2)
+    assert parallel_map(_square, [5, 6], processes=2) == [25, 36]
+
+
+def test_disk_cache_quarantines_truncated_pickle(tmp_path):
+    """Regression (issue #9): a corrupt .stats entry crashed get()."""
+    request = make_request(divider=2)
+    from repro.sim.batch import request_key as key_of
+
+    run_many([request], cache=ResultCache(tmp_path))
+    key = key_of(request)
+    # garbage where the pickle should be
+    (tmp_path / f"{key}.stats").write_bytes(b"\x80\x04 truncated")
+    poisoned = ResultCache(tmp_path)
+    from repro.obs.events import subscribed
+
+    events = []
+    with subscribed(events.append):
+        results = run_many([request], cache=poisoned)
+    # treated as a miss, re-executed, quarantined - never a raise
+    assert not results[0].cached
+    assert poisoned.quarantined == 1
+    assert (tmp_path / "quarantine" / f"{key}.stats").exists()
+    assert not (tmp_path / "quarantine" / f"{key}.stats.tmp").exists()
+    assert "cache_corrupt" in [event.name for event in events]
+    # the rewritten entry serves clean again
+    assert run_many([request], cache=ResultCache(tmp_path))[0].cached
+
+
+def test_disk_cache_detects_flipped_byte_via_checksum(tmp_path):
+    request = make_request(divider=4)
+    from repro.sim.batch import request_key as key_of
+
+    run_many([request], cache=ResultCache(tmp_path))
+    key = key_of(request)
+    path = tmp_path / f"{key}.stats"
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    poisoned = ResultCache(tmp_path)
+    assert poisoned.get(key) is None
+    assert poisoned.quarantined == 1
+    assert poisoned.misses == 1
+
+
+def test_disk_cache_quarantines_entry_missing_its_sidecar(tmp_path):
+    request = make_request(divider=2)
+    from repro.sim.batch import request_key as key_of
+
+    cache = ResultCache(tmp_path)
+    run_many([request], cache=cache)
+    key = key_of(request)
+    (tmp_path / f"{key}.sha256").unlink()
+    rehydrated = ResultCache(tmp_path)
+    assert rehydrated.get(key) is None
+    assert rehydrated.quarantined == 1
+
+
+def test_disk_cache_writes_are_atomic_with_sidecars(tmp_path):
+    request = make_request(divider=2)
+    from repro.sim.batch import CACHE_MAGIC, request_key as key_of
+
+    run_many([request], cache=ResultCache(tmp_path))
+    key = key_of(request)
+    blob = (tmp_path / f"{key}.stats").read_bytes()
+    assert blob.startswith(CACHE_MAGIC)
+    import hashlib
+
+    recorded = (tmp_path / f"{key}.sha256").read_text().strip()
+    assert recorded == hashlib.sha256(blob).hexdigest()
+    # no leftover temp files from the atomic rename
+    assert not list(tmp_path.glob("*.tmp.*"))

@@ -1,0 +1,106 @@
+"""Deterministic fault injector: decisions, specs, corruption."""
+
+import pytest
+
+from repro.sim.faultinject import (
+    FaultInjector,
+    FaultSpec,
+    InjectedWorkerCrash,
+    corrupt_file_bytes,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="meteor_strike")
+    with pytest.raises(ValueError):
+        FaultSpec(kind="kill_worker", rate=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="delay_job", delay_s=-1.0)
+    with pytest.raises(TypeError):
+        FaultInjector(1, ["kill_worker"])
+
+
+def test_decisions_are_deterministic_per_seed():
+    specs = [FaultSpec("kill_worker", rate=0.5, attempts=(1, 2))]
+    one = FaultInjector(42, specs)
+    twin = FaultInjector(42, specs)
+    other = FaultInjector(43, specs)
+    keys = [f"{i:064x}" for i in range(64)]
+    pattern = [
+        one.fires("kill_worker", key, 1) is not None for key in keys
+    ]
+    assert pattern == [
+        twin.fires("kill_worker", key, 1) is not None for key in keys
+    ]
+    assert True in pattern and False in pattern  # rate 0.5 splits
+    assert pattern != [
+        other.fires("kill_worker", key, 1) is not None
+        for key in keys
+    ]
+
+
+def test_rate_extremes_and_attempt_gating():
+    always = FaultInjector(
+        7, [FaultSpec("delay_job", rate=1.0, attempts=(1,))]
+    )
+    never = FaultInjector(
+        7, [FaultSpec("delay_job", rate=0.0, attempts=(1,))]
+    )
+    assert always.fires("delay_job", "k", 1) is not None
+    assert always.fires("delay_job", "k", 2) is None  # gated attempt
+    assert always.fires("kill_worker", "k", 1) is None  # other kind
+    assert never.fires("delay_job", "k", 1) is None
+
+
+def test_kill_worker_raises_in_process():
+    injector = FaultInjector(
+        1, [FaultSpec("kill_worker", rate=1.0, attempts=(1,))]
+    )
+    with pytest.raises(InjectedWorkerCrash):
+        injector.before_attempt("k", "job", 1, in_worker=False)
+    # attempt 2 is clean
+    injector.before_attempt("k", "job", 2, in_worker=False)
+
+
+def test_corrupt_file_bytes_flips_deterministically(tmp_path):
+    target = tmp_path / "entry.stats"
+    target.write_bytes(b"0123456789")
+    position = corrupt_file_bytes(target, seed=5)
+    corrupted = target.read_bytes()
+    assert corrupted != b"0123456789"
+    assert len(corrupted) == 10
+    assert corrupted[position] == b"0123456789"[position] ^ 0xFF
+    # same seed, same file name -> same position
+    target.write_bytes(b"0123456789")
+    assert corrupt_file_bytes(target, seed=5) == position
+
+
+def test_corrupt_empty_file_gains_a_byte(tmp_path):
+    target = tmp_path / "empty.stats"
+    target.write_bytes(b"")
+    corrupt_file_bytes(target, seed=5)
+    assert target.read_bytes() != b""
+
+
+def test_corrupt_cache_skips_memory_only_cache():
+    from repro.sim.batch import ResultCache
+
+    injector = FaultInjector(
+        3, [FaultSpec("corrupt_cache", rate=1.0)]
+    )
+    assert injector.corrupt_cache(ResultCache()) == []
+
+
+def test_injector_survives_pickling():
+    import pickle
+
+    injector = FaultInjector(
+        11, [FaultSpec("kill_worker", rate=0.5, attempts=(1,))]
+    )
+    clone = pickle.loads(pickle.dumps(injector))
+    for key in ("a" * 64, "b" * 64, "c" * 64):
+        assert (
+            (clone.fires("kill_worker", key, 1) is None)
+            == (injector.fires("kill_worker", key, 1) is None)
+        )

@@ -35,6 +35,14 @@ Rules:
   counter in :data:`REQUIRED_PROFILE_COUNTERS`; missing ones fail
   with a named diff (a renamed or dropped counter would otherwise
   read as zero and silently pass);
+* when the fresh artifact carries an ``outcomes`` block (the
+  supervised batch plane's tallies), it is diffed against the
+  baseline's (missing blocks read as all-zero - artifacts predating
+  the block still compare), unknown keys inside it are ignored, and
+  the comparison fails if the fresh run recorded any *degraded* or
+  *retried* job: wall clocks from a run that silently fell back to
+  the reference engine or burned attempts on retries are not
+  comparable to a clean baseline;
 * unknown keys anywhere in either artifact are ignored, and a
   baseline entry missing a field this tool reads is skipped with a
   note instead of failing - older tools must keep working as the
@@ -100,6 +108,58 @@ def _dense_share(entry: dict) -> float | None:
     if total <= 0.0:
         return None
     return float(profile.get("dense_s", 0.0)) / total
+
+
+#: Outcome counters diffed between artifacts.  Extra keys in either
+#: block are ignored (forward compat); the two named in
+#: :data:`OUTCOME_FAIL_KEYS` fail the comparison when nonzero in the
+#: fresh artifact.
+OUTCOME_KEYS = (
+    "ok", "degraded", "failed", "timed_out", "worker_crashed",
+    "retries", "cache_quarantined",
+)
+
+OUTCOME_FAIL_KEYS = ("degraded", "retries")
+
+
+def _outcome_count(block: dict, key: str) -> int:
+    """A counter read defensively: absent or malformed reads as 0."""
+    value = block.get(key, 0)
+    return value if isinstance(value, int) \
+        and not isinstance(value, bool) else 0
+
+
+def compare_outcomes(fresh: dict, baseline: dict) -> list:
+    """Diff the supervised-job outcome blocks; returns failures.
+
+    Prints a counter table when either artifact carries a block.  A
+    missing block reads as all-zero (older artifacts keep
+    comparing); a fresh run that recorded degraded or retried jobs
+    fails - its wall clocks are not comparable.
+    """
+    fresh_block = fresh.get("outcomes")
+    base_block = baseline.get("outcomes")
+    if not isinstance(fresh_block, dict) \
+            and not isinstance(base_block, dict):
+        return []
+    fresh_block = fresh_block if isinstance(fresh_block, dict) else {}
+    base_block = base_block if isinstance(base_block, dict) else {}
+    print(f"\n{'outcome':<18} {'baseline':>9} {'fresh':>9}")
+    print("-" * 38)
+    failures = []
+    for key in OUTCOME_KEYS:
+        base_value = _outcome_count(base_block, key)
+        fresh_value = _outcome_count(fresh_block, key)
+        note = ""
+        if key in OUTCOME_FAIL_KEYS and fresh_value > 0:
+            note = "  NOT-CLEAN"
+            failures.append(
+                f"fresh run recorded {fresh_value} {key} job(s); "
+                f"benchmark timings from a degraded/retried run are "
+                f"not comparable to the baseline"
+            )
+        print(f"{key:<18} {base_value:>9} {fresh_value:>9}{note}")
+    return failures
 
 
 def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
@@ -179,6 +239,7 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
                 validate_profile_schema(key, fresh_workloads[key])
             )
         print(f"(not in baseline, unchecked: {', '.join(extra)})")
+    failures.extend(compare_outcomes(fresh, baseline))
     return failures
 
 

@@ -1,0 +1,122 @@
+"""Validate the ``outcomes`` block a BENCH artifact carries.
+
+Every ``BENCH_*.json`` the evaluation runner emits is stamped with an
+``outcomes`` summary from the supervised batch plane: how many jobs
+settled ok, how many attempts failed / timed out / lost their worker,
+how many retries and engine degradations happened, and how many
+corrupt cache entries were quarantined.  A benchmark artifact whose
+run silently retried or degraded jobs is not comparable - wall clocks
+include the wasted attempts and degraded jobs ran the slow engine -
+so CI validates the block on the artifacts it uploads.
+
+Stdlib-only on purpose (runs before any dependency install).
+
+Usage::
+
+    python tools/check_outcomes_artifact.py BENCH_engine.json
+    python tools/check_outcomes_artifact.py chaos.json --allow-faults
+
+Rules:
+
+* the artifact must carry an ``outcomes`` mapping;
+* every counter in :data:`REQUIRED_KEYS` must be present as a
+  non-negative integer (unknown extra keys are ignored - the schema
+  may grow);
+* unless ``--allow-faults``, every fault-class counter
+  (:data:`FAULT_KEYS`) must be zero: a tier-1 benchmark run that
+  recorded a retry, timeout, crash, degradation, or cache quarantine
+  fails the check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Counters every outcomes block must carry
+#: (:func:`repro.sim.resilience.outcomes_snapshot` schema).
+REQUIRED_KEYS = (
+    "ok", "degraded", "failed", "timed_out", "worker_crashed",
+    "retries", "cache_quarantined",
+)
+
+#: The subset that must be zero on a clean benchmark run.
+FAULT_KEYS = (
+    "degraded", "failed", "timed_out", "worker_crashed", "retries",
+    "cache_quarantined",
+)
+
+
+def check(payload: dict, allow_faults: bool = False) -> list:
+    """Failure strings for one artifact payload (empty = pass)."""
+    outcomes = payload.get("outcomes")
+    if not isinstance(outcomes, dict):
+        return [
+            f"artifact has no 'outcomes' mapping "
+            f"(got {type(outcomes).__name__})"
+        ]
+    failures = []
+    for key in REQUIRED_KEYS:
+        value = outcomes.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            failures.append(
+                f"outcomes[{key!r}] must be an integer, got "
+                f"{value!r}"
+            )
+        elif value < 0:
+            failures.append(
+                f"outcomes[{key!r}] is negative: {value}"
+            )
+    if failures:
+        return failures
+    if not allow_faults:
+        dirty = {
+            key: outcomes[key] for key in FAULT_KEYS
+            if outcomes[key] != 0
+        }
+        if dirty:
+            failures.append(
+                "benchmark run recorded supervised-job faults: "
+                + ", ".join(
+                    f"{key}={value}" for key, value in dirty.items()
+                )
+                + " (wall clocks from a faulting run are not "
+                  "comparable; rerun or pass --allow-faults for "
+                  "chaos artifacts)"
+            )
+    return failures
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a BENCH artifact's outcomes block and "
+                    "fail if the run recorded supervised-job faults."
+    )
+    parser.add_argument(
+        "artifact", metavar="BENCH_JSON",
+        help="a BENCH_*.json emitted by repro.eval.runner",
+    )
+    parser.add_argument(
+        "--allow-faults", action="store_true",
+        help="only validate the schema; permit nonzero fault "
+             "counters (chaos-harness artifacts)",
+    )
+    args = parser.parse_args(argv)
+    payload = json.loads(Path(args.artifact).read_text())
+    failures = check(payload, allow_faults=args.allow_faults)
+    outcomes = payload.get("outcomes")
+    if isinstance(outcomes, dict):
+        print("outcomes:", json.dumps(outcomes, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("outcomes block valid"
+          + ("" if args.allow_faults else " and fault-free"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
