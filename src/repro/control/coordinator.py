@@ -92,6 +92,21 @@ class CoordinatedGovernor(Governor):
         Park halted columns on the slowest ladder rung (the retune is
         legality-checked and priced like any other; the gated-rail
         accounting then makes the parked column nearly free).
+    rate_ratios:
+        Output words each stage produces per input word it consumes
+        (default all 1.0).  A decimating stage (a CIC, an entropy
+        coder) has ratio < 1, an expanding stage (a demapper) > 1;
+        the matching pass uses the ratio to convert a producer's
+        *consumption* rate into the word rate it actually delivers
+        downstream.
+    predecessors:
+        Per-stage producer indices describing the stage graph
+        (default the linear chain ``(), (0,), (1,), ...``).  A fork
+        is two stages naming the same producer; a join names several.
+        A join's availability cap follows the *slower* branch - word
+        pairs complete only as fast as the laggard delivers - while
+        its overflow rate matching keeps pace with the branches'
+        combined arrival rate.
     """
 
     name = "coordinated"
@@ -105,6 +120,8 @@ class CoordinatedGovernor(Governor):
         high_water: float = 0.5,
         match_occupancy: float = 0.25,
         park_halted: bool = True,
+        rate_ratios: Sequence[float] | None = None,
+        predecessors: Sequence[Sequence[int]] | None = None,
     ) -> None:
         self.ladder = validate_ladder(ladder)
         self.cycles_per_word = tuple(float(c) for c in cycles_per_word)
@@ -112,12 +129,45 @@ class CoordinatedGovernor(Governor):
             raise ConfigurationError(
                 "cycles_per_word needs at least one stage"
             )
-        for cycles in self.cycles_per_word:
+        for stage, cycles in enumerate(self.cycles_per_word):
             if cycles <= 0:
                 raise ConfigurationError(
-                    f"cycles_per_word entries must be positive, got "
-                    f"{cycles}"
+                    f"cycles_per_word for stage {stage} must be "
+                    f"positive, got {cycles}"
                 )
+        n = len(self.cycles_per_word)
+        if rate_ratios is None:
+            rate_ratios = (1.0,) * n
+        self.rate_ratios = tuple(float(r) for r in rate_ratios)
+        if len(self.rate_ratios) != n:
+            raise ConfigurationError(
+                f"{n} stages but {len(self.rate_ratios)} rate ratios"
+            )
+        for stage, ratio in enumerate(self.rate_ratios):
+            if ratio <= 0:
+                raise ConfigurationError(
+                    f"rate ratio for stage {stage} must be positive, "
+                    f"got {ratio}"
+                )
+        if predecessors is None:
+            predecessors = ((),) + tuple(
+                (stage - 1,) for stage in range(1, n)
+            )
+        self.predecessors = tuple(
+            tuple(int(p) for p in preds) for preds in predecessors
+        )
+        if len(self.predecessors) != n:
+            raise ConfigurationError(
+                f"{n} stages but {len(self.predecessors)} predecessor "
+                f"entries"
+            )
+        for stage, preds in enumerate(self.predecessors):
+            for pred in preds:
+                if not 0 <= pred < stage:
+                    raise ConfigurationError(
+                        f"stage {stage} lists predecessor {pred}; "
+                        f"producers must be earlier stages"
+                    )
         if governors is None:
             governors = [
                 SlackGovernor(self.ladder, columns=(i,), guard=guard)
@@ -180,8 +230,9 @@ class CoordinatedGovernor(Governor):
                 self._stage_view(telemetry, stage, dividers)
             )
             dividers[stage] = proposal[stage]
-        for stage in range(1, n):
-            if telemetry.halted[stage]:
+        for stage in range(n):
+            if telemetry.halted[stage] \
+                    or not self.predecessors[stage]:
                 continue
             dividers[stage] = self._rate_matched(
                 telemetry, dividers, stage
@@ -225,23 +276,34 @@ class CoordinatedGovernor(Governor):
 
         The owed words are additionally capped by *availability*: a
         stage cannot process more than its current backlog plus what
-        its producer - at the divider just decided for it this sweep -
-        can deliver inside the deadline window.  This is how an
-        upstream slowdown propagates downstream: fewer deliverable
+        its producers - at the dividers just decided for them this
+        sweep - can deliver inside the deadline window.  This is how
+        an upstream slowdown propagates downstream: fewer deliverable
         words mean a slower deadline-safe rung for the consumer, where
-        an uncoordinated stage would spin fast and starve.
+        an uncoordinated stage would spin fast and starve.  A join's
+        delivery is gated by its *slowest* running branch (word pairs
+        complete only when every branch has contributed), scaled by
+        the branch count - the Versa-style join rule.
         """
         extras = dict(telemetry.extras)
         stage_words = extras.get("stage_words_to_deadline")
         ticks = extras.get("ticks_to_deadline")
         if stage_words is not None:
             words = stage_words[stage]
-            if stage > 0 and ticks \
-                    and not telemetry.halted[stage - 1]:
-                deliverable = telemetry.backlog_words[stage] + int(
-                    ticks / (decided[stage - 1]
-                             * self.cycles_per_word[stage - 1])
+            preds = self.predecessors[stage]
+            running = [
+                p for p in preds if not telemetry.halted[p]
+            ]
+            if running and len(running) == len(preds) and ticks:
+                per_branch = min(
+                    int(
+                        ticks * self.rate_ratios[p]
+                        / (decided[p] * self.cycles_per_word[p])
+                    )
+                    for p in running
                 )
+                deliverable = telemetry.backlog_words[stage] \
+                    + len(preds) * per_branch
                 words = min(words, deliverable)
             extras["words_to_deadline"] = words
         extras["cycles_per_word"] = self.cycles_per_word[stage]
@@ -250,26 +312,49 @@ class CoordinatedGovernor(Governor):
     def _rate_matched(
         self, telemetry: Telemetry, dividers: list, stage: int
     ) -> int:
-        """Slowest rung at least as fast as the upstream stage.
+        """Slowest rung at least as fast as the upstream delivery.
 
         The constraint binds only while the channel into ``stage``
         is genuinely filling (occupancy fraction above
-        ``match_occupancy``) and the upstream stage is still running;
+        ``match_occupancy``) and some upstream stage is still running;
         a sub-threshold trickle is burst skew the buffer exists to
         absorb.  Matching never relaxes the stage below its own
         proposal's speed - it can only make a consumer faster, the
         deadline floor is the per-stage governor's job.
+
+        The producer side is the *combined* delivery rate of every
+        running predecessor in output words per reference tick (a
+        producer consuming a word every ``d * c`` ticks delivers
+        ``ratio / (d * c)`` words per tick; a join's channel fills at
+        the branches' sum) - so a consumer behind a decimator relaxes
+        by the decimation factor, and a consumer behind an expander
+        speeds up by it.
         """
         proposal = dividers[stage]
-        if telemetry.halted[stage - 1]:
+        running = [
+            p for p in self.predecessors[stage]
+            if not telemetry.halted[p]
+        ]
+        if not running:
             return proposal
         if telemetry.input_fill[stage] <= self.match_occupancy:
             return proposal
-        upstream_interval = (
-            dividers[stage - 1] * self.cycles_per_word[stage - 1]
-        )
+        if len(running) == 1:
+            # Exact form for the common single-producer case (no
+            # reciprocal round trip): ticks between delivered words.
+            p = running[0]
+            upstream_interval = (
+                dividers[p] * self.cycles_per_word[p]
+                / self.rate_ratios[p]
+            )
+        else:
+            upstream_interval = 1.0 / sum(
+                self.rate_ratios[p]
+                / (dividers[p] * self.cycles_per_word[p])
+                for p in running
+            )
         # Largest ladder rung whose word interval still meets the
-        # upstream production rate; the fastest rung if even that is
+        # upstream delivery rate; the fastest rung if even that is
         # too slow (the stage then simply cannot fall further behind).
         matched = None
         for divider in self.ladder:

@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 
-def validate_ladder(ladder) -> tuple:
+def validate_ladder(ladder, context: str | None = None) -> tuple:
     """Normalize a divider ladder; raise on anything unusable.
 
     A ladder is the discrete operating-point set a governor moves
@@ -52,21 +52,37 @@ def validate_ladder(ladder) -> tuple:
     first); every governor constructor funnels through this check so
     a bad ladder fails at construction time with a
     :class:`~repro.errors.ConfigurationError`, not mid-run.
+
+    ``context`` names the parameter's origin (a generated scenario, a
+    stage index) and every error pinpoints the offending rung by
+    position, so a failure out of a randomized sweep is
+    self-describing instead of "a ladder somewhere was bad".
     """
+    prefix = f"{context}: " if context else ""
     rungs = tuple(ladder)
     if not rungs:
-        raise ConfigurationError("ladder needs at least one divider")
-    for divider in rungs:
+        raise ConfigurationError(
+            f"{prefix}ladder needs at least one divider"
+        )
+    for position, divider in enumerate(rungs):
         # Type-check before sorting so a malformed entry fails here,
         # as a ConfigurationError, not inside sorted() as a TypeError.
         if not isinstance(divider, int) or divider < 1:
             raise ConfigurationError(
-                f"ladder divider {divider!r} is not a positive integer"
+                f"{prefix}ladder rung {position} (divider "
+                f"{divider!r}) is not a positive integer in ladder "
+                f"{rungs}"
             )
     if len(set(rungs)) != len(rungs):
-        raise ConfigurationError(
-            f"ladder {rungs} contains duplicate dividers"
-        )
+        seen: dict = {}
+        for position, divider in enumerate(rungs):
+            if divider in seen:
+                raise ConfigurationError(
+                    f"{prefix}ladder rung {position} duplicates rung "
+                    f"{seen[divider]} (divider {divider}) in ladder "
+                    f"{rungs}"
+                )
+            seen[divider] = position
     return tuple(sorted(rungs))
 
 
@@ -328,7 +344,9 @@ GOVERNOR_KINDS: dict = {
 }
 
 
-def create_governor(name: str, *args, **kwargs) -> Governor:
+def create_governor(
+    name: str, *args, context: str | None = None, **kwargs
+) -> Governor:
     """Instantiate a governor by registry name.
 
     The control-layer analogue of
@@ -337,13 +355,24 @@ def create_governor(name: str, *args, **kwargs) -> Governor:
     divider ladder first), and an unknown name raises a
     :class:`~repro.errors.ConfigurationError` listing the valid
     choices - a configuration mistake, distinguishable from runtime
-    simulation failures.
+    simulation failures.  ``context`` (keyword-only, never forwarded)
+    names where the parameter came from - e.g. a generated scenario's
+    ``(seed, index)`` - so fuzz failures identify themselves.
     """
+    prefix = f"{context}: " if context else ""
     try:
         factory = GOVERNOR_KINDS[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown governor {name!r}; available: "
+            f"{prefix}unknown governor {name!r}; available: "
             f"{sorted(GOVERNOR_KINDS)}"
         ) from None
-    return factory(*args, **kwargs)
+    try:
+        return factory(*args, **kwargs)
+    except ConfigurationError as exc:
+        if context:
+            raise ConfigurationError(
+                f"{prefix}governor {name!r} rejected its "
+                f"parameters: {exc}"
+            ) from exc
+        raise

@@ -31,8 +31,11 @@ from pathlib import Path
 from repro.workloads.coordinated import (
     PIPELINE_GOVERNORS,
     PipelineResult,
+    aes_pipeline_scenario,
     ddc_pipeline_scenario,
+    mpeg4_pipeline_scenario,
     run_pipeline,
+    stereo_pipeline_scenario,
     wlan_rx_pipeline_scenario,
 )
 
@@ -42,10 +45,15 @@ GOVERNORS = PIPELINE_GOVERNORS
 #: Conservation tolerance for the gated, time-varying energy ledger.
 CONSERVATION_TOLERANCE = 1e-9
 
-#: Scenario factories; BENCH_SMOKE shortens the traces.
+#: Scenario factories - the full app matrix of the paper's Section 3
+#: (DDC, 802.11a receive, AES, MPEG-4, stereo), every one governed
+#: end to end; BENCH_SMOKE shortens the traces.
 SCENARIOS = {
     "ddc_pipeline": ddc_pipeline_scenario,
     "wlan_rx_pipeline": wlan_rx_pipeline_scenario,
+    "aes_pipeline": aes_pipeline_scenario,
+    "mpeg4_pipeline": mpeg4_pipeline_scenario,
+    "stereo_pipeline": stereo_pipeline_scenario,
 }
 
 _SMOKE_FRAMES = 8
@@ -184,9 +192,15 @@ def bench_payload(evaluations: dict | None = None) -> dict:
                 {
                     "name": stage.name,
                     "cycles_per_word": stage.cycles_per_word,
+                    "words_in": stage.words_in,
+                    "words_out": stage.words_out,
                 }
                 for stage in scenario.stages
             ],
+            "predecessors": [
+                list(preds) for preds in scenario.stage_predecessors
+            ],
+            "total_exit_words": scenario.total_exit_words,
             "frames": scenario.n_frames,
             "frame_loads": list(scenario.frame_loads),
             "frame_ticks": scenario.frame_ticks,

@@ -1,0 +1,176 @@
+"""Property-based fuzz evaluation: generated scenarios at scale.
+
+``python -m repro.eval.runner --fuzz`` sweeps one seed's generated
+scenario suite (:mod:`repro.workloads.generate`) through the standing
+invariant suite - reference/compiled bit-identity, run determinism,
+zero deadline misses, energy conservation, ledger books balancing -
+and emits the ``BENCH_fuzz.json`` artifact with per-class case
+counts.  Any failing case aborts the evaluation with its
+``(seed, index)`` pair in the message; replay it verbosely with
+``python tools/repro_fuzz_case.py SEED INDEX``.
+
+``--fuzz-seed`` / ``--fuzz-count`` select the suite (defaults below);
+``BENCH_SMOKE=1`` shrinks the count so CI's tier-1 lane exercises the
+full path cheaply while the dedicated fuzz lane runs the real sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+from repro.sim.batch import parallel_map
+from repro.workloads.generate import (
+    APPS,
+    CONSERVATION_TOLERANCE,
+    TOPOLOGIES,
+    check_case,
+)
+
+__all__ = [
+    "DEFAULT_COUNT",
+    "DEFAULT_SEED",
+    "INVARIANTS",
+    "bench_payload",
+    "evaluate",
+    "render",
+    "write_bench",
+]
+
+#: Default suite identity; CI's fuzz matrix overrides the seed.
+DEFAULT_SEED = 11
+DEFAULT_COUNT = 200
+
+_SMOKE_COUNT = 24
+
+#: The properties every generated case is held to (documentation
+#: mirrored into the artifact; the enforcement lives in
+#: :func:`repro.workloads.generate.check_invariants`).
+INVARIANTS = (
+    "reference/compiled engines bit-identical "
+    "(statistics, timeline, transitions)",
+    "repeated runs fingerprint identically (determinism)",
+    "zero deadline misses under the sampled governor",
+    f"energy conservation relative error <= {CONSERVATION_TOLERANCE}",
+    "energy ledger books balance (totals equal summed entries; "
+    "gated windows carry retention leakage only)",
+)
+
+
+def _smoke() -> bool:
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def default_count() -> int:
+    """The sweep size: the full suite, or the smoke shard in CI."""
+    return _SMOKE_COUNT if _smoke() else DEFAULT_COUNT
+
+
+def evaluate(
+    seed: int = DEFAULT_SEED,
+    count: int | None = None,
+    processes: int | None = None,
+) -> list:
+    """Check ``count`` generated cases of one seed; return the rows.
+
+    Cases fan out across worker processes (each worker regenerates
+    its scenario from the bare ``(seed, index)`` pair - the same path
+    a human repro takes).  A failing case raises with the pair in the
+    message; there is nothing to shrink.
+    """
+    if count is None:
+        count = default_count()
+    cases = [(seed, index) for index in range(count)]
+    labels = [f"fuzz (seed {seed}, index {index})"
+              for _, index in cases]
+    return parallel_map(
+        check_case, cases, processes=processes, labels=labels,
+    )
+
+
+def bench_payload(
+    rows: list, seed: int = DEFAULT_SEED
+) -> dict:
+    """The ``BENCH_fuzz.json`` content."""
+    classes = Counter(row["class"] for row in rows)
+    apps = Counter(row["app"] for row in rows)
+    topologies = Counter(row["topology"] for row in rows)
+    governors = Counter(row["governor"] for row in rows)
+    worst = max(
+        (row["conservation_error"] for row in rows), default=0.0
+    )
+    return {
+        "artifact": "BENCH_fuzz",
+        "description": "Property-based sweep of generated pipeline "
+                       "scenarios (full app matrix; linear, "
+                       "decimating, and fork/join topologies) "
+                       "through the invariant suite; any failure "
+                       "reproduces from its (seed, index) pair",
+        "smoke": _smoke(),
+        "seed": seed,
+        "cases": len(rows),
+        "failures": 0,
+        "invariants": list(INVARIANTS),
+        "conservation_tolerance": CONSERVATION_TOLERANCE,
+        "worst_conservation_error": worst,
+        "coverage": {
+            "apps": {app: apps.get(app, 0) for app in APPS},
+            "topologies": {
+                topology: topologies.get(topology, 0)
+                for topology in TOPOLOGIES
+            },
+            "governors": dict(sorted(governors.items())),
+            "classes": dict(sorted(classes.items())),
+        },
+        "totals": {
+            "simulated_words": sum(
+                row["total_words"] for row in rows
+            ),
+            "energy_nj": round(
+                sum(row["energy_nj"] for row in rows), 3
+            ),
+            "transitions": sum(row["transitions"] for row in rows),
+            "gate_segments": sum(
+                row["gate_segments"] for row in rows
+            ),
+            "rail_wakes": sum(row["rail_wakes"] for row in rows),
+        },
+    }
+
+
+def render(rows: list, seed: int = DEFAULT_SEED) -> str:
+    """Human-readable coverage summary."""
+    classes = Counter(row["class"] for row in rows)
+    lines = [
+        f"fuzz seed {seed}: {len(rows)} generated scenarios, "
+        f"0 failures",
+        f"{'class (app/topology/governor)':<38} {'cases':>5}",
+        "-" * 44,
+    ]
+    for key in sorted(classes):
+        lines.append(f"{key:<38} {classes[key]:>5}")
+    worst = max(
+        (row["conservation_error"] for row in rows), default=0.0
+    )
+    lines.append(
+        f"worst conservation error {worst:.3g} "
+        f"(tolerance {CONSERVATION_TOLERANCE})"
+    )
+    return "\n".join(lines)
+
+
+def write_bench(
+    directory: str | Path = ".",
+    payload: dict | None = None,
+) -> Path:
+    """Write ``BENCH_fuzz.json``; returns the path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / "BENCH_fuzz.json"
+    target.write_text(
+        json.dumps(payload or bench_payload(evaluate()), indent=2)
+        + "\n"
+    )
+    return target

@@ -10,6 +10,7 @@ Options::
     python -m repro.eval.runner --dvfs               # governor eval
     python -m repro.eval.runner --coordinated        # pipeline eval
     python -m repro.eval.runner --engines --profile  # engine bench
+    python -m repro.eval.runner --fuzz --fuzz-seed 23  # property sweep
     python -m repro.eval.runner --engines --trace trace.json  # timeline
     python -m repro.eval.runner --measured \
         --retries 2 --job-timeout 300 --keep-going  # supervised jobs
@@ -34,6 +35,15 @@ static / independent / coordinated governance
 coordinated-beats-independent-beats-static contract with every
 governed run bit-identical across engines, and emits
 ``BENCH_coordinated.json``.  ``BENCH_SMOKE=1`` shortens the traces.
+
+``--fuzz`` sweeps one seed of the generative scenario engine
+(:mod:`repro.workloads.generate`) through the invariant suite -
+engine bit-identity, determinism, zero misses, energy conservation,
+ledger books - and emits ``BENCH_fuzz.json`` with per-class coverage
+counts.  Any failure names its ``(seed, index)`` pair; replay with
+``tools/repro_fuzz_case.py``.  ``--fuzz-seed`` / ``--fuzz-count``
+select the suite; ``--jobs`` fans cases across workers;
+``BENCH_SMOKE=1`` shrinks the count.
 
 ``--engines`` times every benchmark workload under the reference and
 compiled engines (:mod:`repro.eval.engines`), asserts bit-identical
@@ -240,6 +250,23 @@ def main(argv: list | None = None) -> None:
              "and emit BENCH_coordinated.json",
     )
     parser.add_argument(
+        "--fuzz", action="store_true",
+        help="sweep one seed of the generative scenario engine "
+             "through the invariant suite (bit-identity, "
+             "determinism, zero misses, conservation, ledger books) "
+             "and emit BENCH_fuzz.json with per-class coverage",
+    )
+    parser.add_argument(
+        "--fuzz-seed", type=int, default=None, metavar="SEED",
+        help="with --fuzz: suite seed (default 11); any failing case "
+             "reproduces from its (seed, index) pair alone",
+    )
+    parser.add_argument(
+        "--fuzz-count", type=int, default=None, metavar="N",
+        help="with --fuzz: number of generated cases (default 200, "
+             "or 24 under BENCH_SMOKE=1)",
+    )
+    parser.add_argument(
         "--engines", action="store_true",
         help="time every benchmark workload under the reference and "
              "compiled engines, assert bit-identical statistics, "
@@ -298,6 +325,7 @@ def main(argv: list | None = None) -> None:
             ("--measured", args.measured),
             ("--dvfs", args.dvfs),
             ("--coordinated", args.coordinated),
+            ("--fuzz", args.fuzz),
             ("--engines", args.engines),
         ) if chosen
     ]
@@ -306,6 +334,32 @@ def main(argv: list | None = None) -> None:
             f"{' and '.join(exclusive)} are separate evaluations; "
             f"run them one at a time"
         )
+    if (
+        args.fuzz_seed is not None or args.fuzz_count is not None
+    ) and not args.fuzz:
+        parser.error("--fuzz-seed/--fuzz-count only apply to --fuzz")
+    if args.fuzz:
+        from repro.eval import fuzz
+        from repro.obs import CountingSink, subscribed
+
+        if args.experiments:
+            parser.error("--fuzz generates its own scenarios; drop "
+                         "--experiment")
+        seed = args.fuzz_seed if args.fuzz_seed is not None \
+            else fuzz.DEFAULT_SEED
+        sink = CountingSink()
+        with subscribed(sink):
+            rows = fuzz.evaluate(
+                seed, args.fuzz_count,
+                processes=None if args.jobs == 0 else args.jobs,
+            )
+        emit_artifact(
+            fuzz.bench_payload(rows, seed),
+            fuzz.write_bench, args.output,
+            renders=[fuzz.render(rows, seed)],
+            telemetry=sink.summary(),
+        )
+        return
     if args.coordinated:
         from repro.eval import coordinated
         from repro.obs import CountingSink, subscribed

@@ -29,7 +29,9 @@ transition and re-wake charges.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
+from fractions import Fraction
 
 import numpy as np
 
@@ -42,6 +44,7 @@ from repro.control.coordinator import (
 )
 from repro.control.epochs import GovernedRun, run_governed
 from repro.control.governor import (
+    GOVERNOR_KINDS,
     Governor,
     SlackGovernor,
     StaticGovernor,
@@ -61,10 +64,13 @@ __all__ = [
     "PipelineResult",
     "PipelineScenario",
     "PipelineStage",
+    "aes_pipeline_scenario",
     "charge_pipeline_ledger",
     "ddc_pipeline_scenario",
+    "mpeg4_pipeline_scenario",
     "pipeline_governor",
     "run_pipeline",
+    "stereo_pipeline_scenario",
     "wlan_rx_pipeline_scenario",
 ]
 
@@ -77,38 +83,86 @@ GATED_LEAKAGE_FRACTION = 0.05
 class PipelineStage:
     """One pipeline stage: a column's streaming kernel shape.
 
-    ``work_per_word`` is the unrolled compute between the RECV and the
-    SEND, so a word costs ``work_per_word + 2`` tile cycles - the
-    per-stage rate currency every provisioning and matching rule uses.
+    A stage *firing* consumes ``words_in`` words, performs
+    ``work_per_word`` unrolled compute instructions, and produces
+    ``words_out`` words, costing ``words_in + work_per_word +
+    words_out`` tile cycles.  The default 1:1 shape reproduces the
+    original streaming worker (RECV + work + SEND per word); a
+    decimating stage (a CIC, an entropy coder) sets ``words_in >
+    words_out`` and an expanding stage (a demapper) the reverse -
+    the non-1:1 word-rate ratios dataflow rate matching is about.
+
+    ``cycles_per_word`` - tile cycles per *input* word - stays the
+    rate currency every provisioning and matching rule uses.
     """
 
     name: str
     work_per_word: int
+    words_in: int = 1
+    words_out: int = 1
 
     def __post_init__(self) -> None:
         if self.work_per_word < 1:
             raise ConfigurationError(
                 f"stage {self.name}: work_per_word must be positive"
             )
+        if self.words_in < 1:
+            raise ConfigurationError(
+                f"stage {self.name}: words_in must be positive, got "
+                f"{self.words_in}"
+            )
+        if self.words_out < 1:
+            raise ConfigurationError(
+                f"stage {self.name}: words_out must be positive, got "
+                f"{self.words_out}"
+            )
 
     @property
-    def cycles_per_word(self) -> int:
-        """Tile cycles one word costs (RECV + work + SEND)."""
-        return self.work_per_word + 2
+    def cycles_per_firing(self) -> int:
+        """Tile cycles one firing costs (RECVs + work + SENDs)."""
+        return self.words_in + self.work_per_word + self.words_out
+
+    @property
+    def cycles_per_word(self) -> float:
+        """Tile cycles one *input* word costs.
+
+        Exactly ``work_per_word + 2`` for the 1:1 default - the
+        original rate currency - and the amortized per-word share of
+        a firing otherwise.
+        """
+        return self.cycles_per_firing / self.words_in
+
+    @property
+    def rate_ratio(self) -> Fraction:
+        """Output words produced per input word consumed."""
+        return Fraction(self.words_out, self.words_in)
 
 
 @dataclass(frozen=True)
 class PipelineScenario:
-    """A rate-varying workload on an N-stage column pipeline.
+    """A rate-varying workload on an N-stage column pipeline graph.
 
     Frame ``i`` arrives at the first stage at tick
     ``i * frame_ticks``; its words must have left the *last* stage by
     ``(i + 1) * frame_ticks``.  Words flow stage to stage over the
-    horizontal bus (one round-robin DOU state per adjacent channel),
+    horizontal bus (one round-robin DOU cycle per producing stage),
     through the voltage-adapting inter-column ports whose occupancy
     the governors watch.  ``epoch_ticks`` must divide ``frame_ticks``
     and be a multiple of every ladder divider so deadlines and
     commits land on control boundaries.
+
+    ``predecessors`` describes the stage graph: per stage, the
+    indices of its producers (default the linear chain).  Stage 0 is
+    the single external head, the last stage the single sink the
+    deadline is counted at.  A *fork* is several stages naming one
+    producer - the producer's output is broadcast, each consumer sees
+    the full stream (one DOU cycle drives both branch ports).  A
+    *join* names several producers; its single input port interleaves
+    the branches' words deterministically and a firing consumes
+    ``words_in`` of them, so matched branches must deliver equal word
+    counts (validated).  Combined with per-stage ``words_in`` /
+    ``words_out`` ratios this gives the non-1:1 (decimating /
+    expanding) and fork/join topologies of dataflow rate matching.
     """
 
     name: str
@@ -122,6 +176,14 @@ class PipelineScenario:
     provision_guard: float = 1.3
     coordination_guard: float = 1.25
     port_capacity: int = 512
+    predecessors: tuple | None = None
+    #: Reference ticks the harness subtracts from the published
+    #: deadline window.  The per-stage rate decomposition assumes the
+    #: stages work concurrently, which the *last* words of a frame
+    #: violate - they traverse the stages serially - so deep or
+    #: slow-ladder pipelines reserve their serial drain time here.
+    #: Zero (the default) reproduces the undiminished window.
+    drain_allowance_ticks: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -142,12 +204,30 @@ class PipelineScenario:
                     f"{self.name}: stages must be PipelineStage "
                     f"instances"
                 )
+        if self.predecessors is not None:
+            object.__setattr__(
+                self, "predecessors",
+                tuple(
+                    tuple(int(p) for p in preds)
+                    for preds in self.predecessors
+                ),
+            )
+        self._validate_graph()
         if not self.frame_loads:
             raise ConfigurationError(f"{self.name}: no frames")
         if min(self.frame_loads) < 1:
             raise ConfigurationError(
                 f"{self.name}: every frame needs at least one word"
             )
+        quantum = self.load_quantum
+        for index, load in enumerate(self.frame_loads):
+            if load % quantum != 0:
+                raise ConfigurationError(
+                    f"{self.name}: frame {index} carries {load} "
+                    f"words, not a multiple of the load quantum "
+                    f"{quantum} the stage rate ratios require (every "
+                    f"stage must fire whole firings per frame)"
+                )
         for divider in self.divider_ladder:
             if self.frame_ticks % divider != 0 \
                     or self.epoch_ticks % divider != 0:
@@ -160,6 +240,75 @@ class PipelineScenario:
                 f"{self.name}: epoch_ticks must divide frame_ticks "
                 f"so deadlines land on control boundaries"
             )
+        if not 0 <= self.drain_allowance_ticks < self.frame_ticks:
+            raise ConfigurationError(
+                f"{self.name}: drain_allowance_ticks "
+                f"{self.drain_allowance_ticks} must lie in "
+                f"[0, frame_ticks)"
+            )
+
+    def _validate_graph(self) -> None:
+        """Check the stage graph is a single-head, single-sink DAG."""
+        preds = self.stage_predecessors
+        if len(preds) != len(self.stages):
+            raise ConfigurationError(
+                f"{self.name}: {len(self.stages)} stages but "
+                f"{len(preds)} predecessor entries"
+            )
+        if preds[0]:
+            raise ConfigurationError(
+                f"{self.name}: stage 0 is the external head and "
+                f"cannot list predecessors (got {preds[0]})"
+            )
+        for stage in range(1, len(self.stages)):
+            entry = preds[stage]
+            if not entry:
+                raise ConfigurationError(
+                    f"{self.name}: stage {stage} "
+                    f"({self.stages[stage].name}) has no producer - "
+                    f"only stage 0 takes external input"
+                )
+            if len(set(entry)) != len(entry):
+                raise ConfigurationError(
+                    f"{self.name}: stage {stage} lists a duplicate "
+                    f"producer in {entry}"
+                )
+            for pred in entry:
+                if not 0 <= pred < stage:
+                    raise ConfigurationError(
+                        f"{self.name}: stage {stage} lists producer "
+                        f"{pred}; producers must be earlier stages "
+                        f"(topological order)"
+                    )
+        successors = self.stage_successors
+        for stage in range(len(self.stages) - 1):
+            if not successors[stage]:
+                raise ConfigurationError(
+                    f"{self.name}: stage {stage} "
+                    f"({self.stages[stage].name}) has no consumer - "
+                    f"only the last stage may sink the stream"
+                )
+        if successors[-1]:
+            raise ConfigurationError(
+                f"{self.name}: the last stage is the pipeline sink "
+                f"and cannot feed {successors[-1]}"
+            )
+        scales = self.input_scales
+        for stage, entry in enumerate(preds):
+            if len(entry) <= 1:
+                continue
+            rates = {
+                pred: scales[pred] * self.stages[pred].rate_ratio
+                for pred in entry
+            }
+            if len(set(rates.values())) != 1:
+                raise ConfigurationError(
+                    f"{self.name}: join stage {stage} "
+                    f"({self.stages[stage].name}) mixes branches with "
+                    f"unequal word rates {dict(rates)} - matched "
+                    f"branches must deliver equal word counts per "
+                    f"head word"
+                )
 
     # ------------------------------------------------------------------
     # shape
@@ -176,7 +325,7 @@ class PipelineScenario:
 
     @property
     def total_words(self) -> int:
-        """Words across the whole trace."""
+        """Words across the whole trace (at the pipeline head)."""
         return sum(self.frame_loads)
 
     @property
@@ -186,8 +335,102 @@ class PipelineScenario:
 
     @property
     def stage_cycles(self) -> tuple:
-        """Per-stage tile cycles per word, pipeline order."""
+        """Per-stage tile cycles per input word, pipeline order."""
         return tuple(s.cycles_per_word for s in self.stages)
+
+    @property
+    def stage_predecessors(self) -> tuple:
+        """Per-stage producer indices (linear chain by default)."""
+        if self.predecessors is not None:
+            return self.predecessors
+        return ((),) + tuple(
+            (stage - 1,) for stage in range(1, self.n_stages)
+        )
+
+    @property
+    def stage_successors(self) -> tuple:
+        """Per-stage consumer indices, derived from the producers."""
+        successors = [[] for _ in self.stages]
+        for stage, preds in enumerate(self.stage_predecessors):
+            for pred in preds:
+                successors[pred].append(stage)
+        return tuple(tuple(entry) for entry in successors)
+
+    @property
+    def is_linear(self) -> bool:
+        """Whether the stage graph is the plain chain."""
+        return all(
+            len(preds) <= 1 for preds in self.stage_predecessors
+        ) and all(
+            len(succs) <= 1 for succs in self.stage_successors
+        )
+
+    # ------------------------------------------------------------------
+    # word-flow scales
+    # ------------------------------------------------------------------
+    @property
+    def input_scales(self) -> tuple:
+        """Words arriving at each stage per external head word.
+
+        Exact :class:`~fractions.Fraction` values: the head sees 1;
+        every other stage sums its producers' output scales (a fork
+        broadcasts, so each branch sees the producer's full output; a
+        join's port receives every branch's words).
+        """
+        scales = []
+        for stage, preds in enumerate(self.stage_predecessors):
+            if not preds:
+                scales.append(Fraction(1))
+                continue
+            scales.append(sum(
+                scales[pred] * self.stages[pred].rate_ratio
+                for pred in preds
+            ))
+        return tuple(scales)
+
+    @property
+    def output_scales(self) -> tuple:
+        """Words each stage produces per external head word."""
+        return tuple(
+            scale * stage.rate_ratio
+            for scale, stage in zip(self.input_scales, self.stages)
+        )
+
+    @property
+    def exit_scale(self) -> Fraction:
+        """Words leaving the pipe per external head word."""
+        return self.output_scales[-1]
+
+    @property
+    def load_quantum(self) -> int:
+        """Smallest frame load every stage can consume in whole firings.
+
+        Every frame load must be a multiple of this: frame ``k``
+        delivers ``load * input_scales[i]`` words to stage ``i``,
+        which must be an integral number of ``words_in`` firings so
+        no partial firing straddles a deadline.  The quantum is the
+        LCM of the per-stage denominators of ``input_scale /
+        words_in``; 1 for any all-1:1 pipeline.
+        """
+        quantum = 1
+        for scale, stage in zip(self.input_scales, self.stages):
+            denominator = (scale / stage.words_in).denominator
+            quantum = quantum * denominator \
+                // np.gcd(quantum, denominator)
+        return int(quantum)
+
+    @property
+    def stage_firings(self) -> tuple:
+        """Firings each stage executes over the whole trace."""
+        return tuple(
+            int(self.total_words * scale / stage.words_in)
+            for scale, stage in zip(self.input_scales, self.stages)
+        )
+
+    @property
+    def total_exit_words(self) -> int:
+        """Words the whole trace produces at the pipeline exit."""
+        return int(self.total_words * self.exit_scale)
 
     # ------------------------------------------------------------------
     # provisioning
@@ -199,18 +442,21 @@ class PipelineScenario:
         still processes the *peak* frame inside one frame period with
         the provisioning guard - exactly the paper's per-column rate
         matching, applied to the worst case because a static schedule
-        cannot revisit the choice.
+        cannot revisit the choice.  The peak load is scaled into each
+        stage's own input words first, so a stage behind a decimator
+        provisions for the decimated stream, not the head rate.
         """
         dividers = []
-        for stage in self.stages:
+        for index, stage in enumerate(self.stages):
+            stage_peak = int(self.peak_words * self.input_scales[index])
             divider = slowest_safe_divider(
-                self.divider_ladder, self.frame_ticks, self.peak_words,
+                self.divider_ladder, self.frame_ticks, stage_peak,
                 stage.cycles_per_word, self.provision_guard,
             )
             if divider is None:
                 raise ConfigurationError(
                     f"{self.name}: stage {stage.name} cannot sustain "
-                    f"the peak frame of {self.peak_words} words even "
+                    f"the peak frame of {stage_peak} words even "
                     f"at divider {self.divider_ladder[0]}"
                 )
             dividers.append(divider)
@@ -228,20 +474,27 @@ class PipelineScenario:
                 f"{self.name}: {self.n_stages} stages but "
                 f"{len(start)} start dividers"
             )
+        firings = self.stage_firings
         programs = []
         dou_programs = []
         for index, stage in enumerate(self.stages):
+            recvs = "\n".join(
+                "  recv r1" for _ in range(stage.words_in)
+            )
             work = "\n".join(
                 "  addi r2, r2, 1"
                 for _ in range(stage.work_per_word)
             )
+            sends = "\n".join(
+                "  send r1" for _ in range(stage.words_out)
+            )
             programs.append(assemble(f"""
                 tmask 0x1            ; tile 0 is the stage worker
                 movi r2, 0
-                loop {self.total_words}
-                  recv r1
+                loop {firings[index]}
+{recvs}
 {work}
-                  send r1
+{sends}
                 endloop
                 halt
             """, f"{self.key}-{stage.name}"))
@@ -252,10 +505,14 @@ class PipelineScenario:
                 ],
                 name=f"{self.key}-{stage.name}-stream",
             ))
+        successors = self.stage_successors
+        # One round-robin cycle per *producing* stage; a fork's single
+        # transfer broadcasts the word into every branch port.
         horizontal = compile_schedule(
             [
-                [Transfer(src=index, dsts=(index + 1,))]
-                for index in range(self.n_stages - 1)
+                [Transfer(src=index, dsts=successors[index])]
+                for index in range(self.n_stages)
+                if successors[index]
             ],
             n_positions=self.n_stages,
             name=f"{self.key}-hbus",
@@ -340,6 +597,132 @@ def wlan_rx_pipeline_scenario(
     )
 
 
+def _packet_loads(frames: int, seed: int) -> tuple:
+    """An AES link trace: idle beacons with encrypted data bursts."""
+    rng = np.random.default_rng(seed)
+    loads = []
+    for _ in range(frames):
+        if rng.random() < 0.35:  # data burst
+            loads.append(int(rng.integers(10, 16)) * 8)
+        else:  # beacon / keep-alive traffic
+            loads.append(int(rng.integers(2, 5)) * 8)
+    # Exercise the worst case at least once.
+    loads[int(rng.integers(frames // 2, frames))] = 128
+    return tuple(loads)
+
+
+def aes_pipeline_scenario(
+    frames: int = 20, seed: int = 11
+) -> PipelineScenario:
+    """AES link encryption as a governed four-stage pipeline.
+
+    Key mix, SubBytes, the round core, and serialization stream one
+    block per word; the round core dominates per-word cost, so the
+    static schedule must hold its column fast while the governors let
+    the light stages idle down between packet bursts.
+    """
+    return PipelineScenario(
+        name="AES link-encryption pipeline",
+        key="aes_pipeline",
+        frame_loads=_packet_loads(frames, seed),
+        stages=(
+            PipelineStage("keymix", work_per_word=2),
+            PipelineStage("sbox", work_per_word=5),
+            PipelineStage("rounds", work_per_word=9),
+            PipelineStage("serialize", work_per_word=1),
+        ),
+    )
+
+
+def _motion_loads(frames: int, seed: int) -> tuple:
+    """An MPEG-4 macroblock trace: scene-dependent, in eights.
+
+    Loads are multiples of 8 because the encoder pipeline's entropy
+    tail consumes the quantizer's 2:1-decimated stream four words per
+    firing - the load quantum the scenario validates.
+    """
+    rng = np.random.default_rng(seed)
+    levels = (16, 32, 64, 96)  # still scene .. full motion
+    level = 1
+    loads = []
+    for _ in range(frames):
+        if rng.random() > 0.65:  # scene change / motion burst
+            step = 1 if rng.random() < 0.55 else -1
+            level = min(len(levels) - 1, max(0, level + step))
+        loads.append(levels[level])
+    loads[int(rng.integers(frames // 2, frames))] = levels[-1]
+    return tuple(loads)
+
+
+def mpeg4_pipeline_scenario(
+    frames: int = 20, seed: int = 13
+) -> PipelineScenario:
+    """The MPEG-4 encoder tail with non-1:1 word-rate ratios.
+
+    DCT feeds a 2:1 decimating quantizer (two coefficients in, one
+    significant value out) which feeds a 4:1 entropy packer - the
+    decimating-pipeline shape of dataflow rate matching, where each
+    stage's deadline-safe rung follows its *own* decimated word rate,
+    an eighth of the head rate at the tail.
+    """
+    return PipelineScenario(
+        name="MPEG-4 encoder tail (2:1 and 4:1 decimation)",
+        key="mpeg4_pipeline",
+        frame_loads=_motion_loads(frames, seed),
+        stages=(
+            PipelineStage("dct", work_per_word=4),
+            PipelineStage(
+                "quant", work_per_word=5, words_in=2, words_out=1
+            ),
+            PipelineStage(
+                "entropy", work_per_word=11, words_in=4, words_out=1
+            ),
+        ),
+    )
+
+
+def _audio_loads(frames: int, seed: int) -> tuple:
+    """A stereo audio trace: sample-rate switches with level bursts."""
+    rng = np.random.default_rng(seed)
+    levels = (16, 32, 48, 96)  # low-rate .. hi-res words/frame
+    level = 1
+    loads = []
+    for _ in range(frames):
+        if rng.random() > 0.55:  # sample-rate / codec switch
+            step = 1 if rng.random() < 0.5 else -1
+            level = min(len(levels) - 1, max(0, level + step))
+        loads.append(levels[level])
+    loads[int(rng.integers(frames // 2, frames))] = levels[-1]
+    return tuple(loads)
+
+
+def stereo_pipeline_scenario(
+    frames: int = 20, seed: int = 17
+) -> PipelineScenario:
+    """Stereo effects processing as a fork/join diamond.
+
+    A splitter broadcasts each sample to the left and right channel
+    filters (a fork: both branches see the full stream), and the
+    downmix join consumes one word from each branch per output sample
+    - the join's availability follows the slower branch, which the
+    asymmetric per-channel filter costs make a real constraint.
+    """
+    return PipelineScenario(
+        name="Stereo effects fork/join pipeline",
+        key="stereo_pipeline",
+        frame_loads=_audio_loads(frames, seed),
+        stages=(
+            PipelineStage("split", work_per_word=1),
+            PipelineStage("left_fx", work_per_word=6),
+            PipelineStage("right_fx", work_per_word=3),
+            PipelineStage(
+                "downmix", work_per_word=4, words_in=2, words_out=1
+            ),
+        ),
+        predecessors=((), (0,), (0,), (1, 2)),
+    )
+
+
 # ----------------------------------------------------------------------
 # governors
 # ----------------------------------------------------------------------
@@ -363,13 +746,31 @@ class IndependentSlackGovernor(Governor):
     name = "independent"
 
     def __init__(
-        self, ladder, cycles_per_word, guard: float = 1.25
+        self,
+        ladder,
+        cycles_per_word,
+        guard: float = 1.25,
+        word_scales=None,
     ) -> None:
         self.cycles_per_word = tuple(float(c) for c in cycles_per_word)
         if not self.cycles_per_word:
             raise ConfigurationError(
                 "cycles_per_word needs at least one stage"
             )
+        if word_scales is None:
+            word_scales = (1.0,) * len(self.cycles_per_word)
+        self.word_scales = tuple(float(s) for s in word_scales)
+        if len(self.word_scales) != len(self.cycles_per_word):
+            raise ConfigurationError(
+                f"{len(self.cycles_per_word)} stages but "
+                f"{len(self.word_scales)} word scales"
+            )
+        for stage, scale in enumerate(self.word_scales):
+            if scale <= 0:
+                raise ConfigurationError(
+                    f"word scale for stage {stage} must be positive, "
+                    f"got {scale}"
+                )
         self.governors = [
             SlackGovernor(ladder, columns=(i,), guard=guard)
             for i in range(len(self.cycles_per_word))
@@ -385,14 +786,27 @@ class IndependentSlackGovernor(Governor):
             if telemetry.halted[stage]:
                 continue
             extras = dict(telemetry.extras)
-            # Only the stage's own per-word cost is local knowledge;
-            # the words owed stay chip-global (no per-stage progress
-            # sharing between independent controllers).
+            # Only the stage's own per-word cost and static rate scale
+            # are local knowledge; the words owed stay chip-global (no
+            # per-stage progress sharing between independent
+            # controllers).  The scale converts the chip-global exit
+            # words into the stage's own input words - a decimator's
+            # upstream owes more words than leave the pipe - rounded
+            # up so the conversion can only speed a stage up.
             extras.pop("stage_words_to_deadline", None)
             extras["cycles_per_word"] = self.cycles_per_word[stage]
+            words = extras.get("words_to_deadline")
+            scale = self.word_scales[stage]
+            if words is not None and scale != 1.0:
+                extras["words_to_deadline"] = int(
+                    math.ceil(words * scale)
+                )
             view = replace(telemetry, extras=extras)
             dividers[stage] = governor.decide(view)[stage]
         return tuple(dividers)
+
+
+GOVERNOR_KINDS[IndependentSlackGovernor.name] = IndependentSlackGovernor
 
 
 def pipeline_governor(
@@ -413,15 +827,23 @@ def pipeline_governor(
             scenario.divider_ladder,
             scenario.stage_cycles,
             guard=scenario.coordination_guard,
+            word_scales=tuple(
+                float(scale / scenario.exit_scale)
+                for scale in scenario.input_scales
+            ),
         )
     if kind == "coordinated":
         return CoordinatedGovernor(
             scenario.divider_ladder,
             scenario.stage_cycles,
             guard=scenario.coordination_guard,
+            rate_ratios=tuple(
+                float(stage.rate_ratio) for stage in scenario.stages
+            ),
+            predecessors=scenario.stage_predecessors,
         )
     raise ConfigurationError(
-        f"unknown pipeline governor {kind!r}; valid: "
+        f"{scenario.key}: unknown pipeline governor {kind!r}; valid: "
         f"{sorted(PIPELINE_GOVERNORS)}"
     )
 
@@ -463,36 +885,62 @@ class _PipelineHarness:
         self.samples.append((tick, self.produced))
 
     def _due_words(self, tick: int) -> tuple:
+        """Due head words, the same in exit words, next deadline."""
         scenario = self.scenario
         arrived = min(
             scenario.n_frames - 1, tick // scenario.frame_ticks
         )
-        due = sum(scenario.frame_loads[:arrived + 1])
+        due_head = sum(scenario.frame_loads[:arrived + 1])
+        due_exit = int(due_head * scenario.exit_scale)
         next_deadline = (arrived + 1) * scenario.frame_ticks
-        return due, next_deadline
+        return due_head, due_exit, next_deadline
 
     def telemetry_extras(self, chip: Chip, epoch: int) -> dict:
         """Chip-level deadline signals, end-of-pipe and per-stage.
 
-        ``stage_words_to_deadline[i]`` subtracts from the due words
-        everything already *past* stage ``i`` - the words produced at
-        the pipe exit plus every word queued in a port downstream of
-        the stage's own input - so each stage's slack governor sees
-        only the work that is genuinely still its own.
+        ``stage_words_to_deadline[i]`` subtracts from the words due at
+        stage ``i`` (the due head words scaled into the stage's own
+        input units) everything already *past* the stage: the words
+        produced at the pipe exit, the stage's own output queue, and
+        every word queued along the stage's primary downstream path -
+        all converted into stage-``i`` input units through the exact
+        word-flow scales, and floored so rounding can only make a
+        governor run *faster*.  On a fork only the primary branch's
+        queues are credited (a word still owed on the other branch is
+        not past the fork), which again errs fast, never slow.
         """
         scenario = self.scenario
         tick = chip.reference_ticks
-        due, next_deadline = self._due_words(tick)
+        due_head, due_exit, next_deadline = self._due_words(tick)
         columns = chip.columns
+        scales = scenario.input_scales
+        out_scales = scenario.output_scales
+        successors = scenario.stage_successors
         stage_words = []
         for index in range(scenario.n_stages):
-            past = self.produced + len(columns[index].h_out)
-            for downstream in columns[index + 1:]:
-                past += len(downstream.h_in) + len(downstream.h_out)
-            stage_words.append(max(0, due - past))
+            scale = scales[index]
+            past = self.produced * scale / scenario.exit_scale
+            past += len(columns[index].h_out) \
+                * scale / out_scales[index]
+            walk = index
+            while successors[walk]:
+                walk = successors[walk][0]
+                # A join's input queue interleaves branch words a
+                # branch stage cannot attribute, so it earns no
+                # credit: counting an averaged share would let a
+                # lagging branch claim the *other* branch's progress.
+                if len(scenario.stage_predecessors[walk]) == 1:
+                    past += len(columns[walk].h_in) \
+                        * scale / scales[walk]
+                past += len(columns[walk].h_out) \
+                    * scale / out_scales[walk]
+            due_stage = int(due_head * scale)
+            stage_words.append(max(0, due_stage - int(past)))
+        window = next_deadline - tick \
+            - scenario.drain_allowance_ticks
         return {
-            "words_to_deadline": max(0, due - self.produced),
-            "ticks_to_deadline": max(1, next_deadline - tick),
+            "words_to_deadline": max(0, due_exit - self.produced),
+            "ticks_to_deadline": max(1, window),
             "cycles_per_word": float(max(scenario.stage_cycles)),
             "stage_words_to_deadline": tuple(stage_words),
             "stage_cycles_per_word": tuple(
@@ -514,9 +962,10 @@ class _PipelineHarness:
         """Frames whose words had not all left the pipe in time."""
         scenario = self.scenario
         misses = 0
-        due = 0
+        due_head = 0
         for index, words in enumerate(scenario.frame_loads):
-            due += words
+            due_head += words
+            due = int(due_head * scenario.exit_scale)
             deadline = (index + 1) * scenario.frame_ticks
             produced_by_deadline = 0
             for tick, produced in self.samples:
@@ -774,11 +1223,11 @@ def run_pipeline(
         telemetry_extras=harness.telemetry_extras,
     )
     harness.finish(run)
-    if harness.produced != scenario.total_words:
+    if harness.produced != scenario.total_exit_words:
         raise SimulationError(
             f"{scenario.name}: produced {harness.produced} of "
-            f"{scenario.total_words} words - the pipeline and trace "
-            f"disagree"
+            f"{scenario.total_exit_words} exit words - the pipeline "
+            f"and trace disagree"
         )
     ledger, error, gate_segments = charge_pipeline_ledger(
         scenario, run, model or PowerModel(), transitions,

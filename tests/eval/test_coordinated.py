@@ -23,7 +23,10 @@ def evaluations():
 
 
 def test_every_scenario_runs_every_policy(evaluations):
-    assert set(evaluations) == {"ddc_pipeline", "wlan_rx_pipeline"}
+    assert set(evaluations) == {
+        "ddc_pipeline", "wlan_rx_pipeline", "aes_pipeline",
+        "mpeg4_pipeline", "stereo_pipeline",
+    }
     for results in evaluations.values():
         assert set(results) == set(GOVERNORS)
 

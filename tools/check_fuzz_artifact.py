@@ -1,0 +1,143 @@
+"""Validate a ``BENCH_fuzz.json`` property-sweep artifact.
+
+The fuzz evaluation (``python -m repro.eval.runner --fuzz``) sweeps
+one seed of the generative scenario engine through the invariant
+suite and records per-class coverage counts.  CI validates the
+artifact it uploads: the sweep must actually have run (nonzero
+cases, zero failures), the stratified coverage must have landed -
+every app and every topology exercised - and the worst observed
+conservation error must sit inside the declared tolerance.
+
+Stdlib-only on purpose (runs before any dependency install).
+
+Usage::
+
+    python tools/check_fuzz_artifact.py BENCH_fuzz.json
+    python tools/check_fuzz_artifact.py BENCH_fuzz.json --min-cases 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Coverage axes the generator stratifies by; every member must have
+#: a nonzero case count (mirrors repro.workloads.generate).
+EXPECTED_APPS = ("aes", "ddc", "mpeg4", "stereo", "wlan")
+EXPECTED_TOPOLOGIES = ("linear", "decimating", "fork_join")
+
+
+def check(payload: dict, min_cases: int = 1) -> list:
+    """Failure strings for one artifact payload (empty = pass)."""
+    failures = []
+    if payload.get("artifact") != "BENCH_fuzz":
+        return [
+            f"artifact field is {payload.get('artifact')!r}, "
+            f"expected 'BENCH_fuzz'"
+        ]
+    cases = payload.get("cases")
+    if not isinstance(cases, int) or isinstance(cases, bool) \
+            or cases < min_cases:
+        failures.append(
+            f"cases must be an integer >= {min_cases}, got {cases!r}"
+        )
+    if payload.get("failures") != 0:
+        failures.append(
+            f"failures must be 0 (a failing sweep aborts before the "
+            f"artifact), got {payload.get('failures')!r}"
+        )
+    if not isinstance(payload.get("seed"), int):
+        failures.append(f"seed must be an integer, got "
+                        f"{payload.get('seed')!r}")
+    invariants = payload.get("invariants")
+    if not isinstance(invariants, list) or not invariants:
+        failures.append("invariants must be a non-empty list")
+
+    coverage = payload.get("coverage")
+    if not isinstance(coverage, dict):
+        failures.append(
+            f"coverage must be a mapping, got "
+            f"{type(coverage).__name__}"
+        )
+        return failures
+    for axis, expected in (
+        ("apps", EXPECTED_APPS),
+        ("topologies", EXPECTED_TOPOLOGIES),
+    ):
+        counts = coverage.get(axis)
+        if not isinstance(counts, dict):
+            failures.append(f"coverage[{axis!r}] missing")
+            continue
+        for member in expected:
+            count = counts.get(member)
+            if not isinstance(count, int) or count <= 0:
+                failures.append(
+                    f"coverage[{axis!r}][{member!r}] must be a "
+                    f"positive case count, got {count!r} - the "
+                    f"stratified sweep did not exercise it"
+                )
+    classes = coverage.get("classes")
+    if isinstance(classes, dict) and isinstance(cases, int):
+        total = sum(
+            value for value in classes.values()
+            if isinstance(value, int)
+        )
+        if total != cases:
+            failures.append(
+                f"per-class counts sum to {total}, not the declared "
+                f"{cases} cases"
+            )
+
+    tolerance = payload.get("conservation_tolerance")
+    worst = payload.get("worst_conservation_error")
+    if not isinstance(tolerance, (int, float)) \
+            or not isinstance(worst, (int, float)):
+        failures.append(
+            "conservation_tolerance and worst_conservation_error "
+            "must both be numbers"
+        )
+    elif worst > tolerance:
+        failures.append(
+            f"worst conservation error {worst} exceeds the declared "
+            f"tolerance {tolerance}"
+        )
+    return failures
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a BENCH_fuzz.json property-sweep "
+                    "artifact: sweep ran, coverage landed, "
+                    "conservation held."
+    )
+    parser.add_argument(
+        "artifact", metavar="BENCH_FUZZ_JSON",
+        help="a BENCH_fuzz.json emitted by repro.eval.runner --fuzz",
+    )
+    parser.add_argument(
+        "--min-cases", type=int, default=1, metavar="N",
+        help="minimum case count the sweep must have run "
+             "(default 1; CI's fuzz lane passes 200)",
+    )
+    args = parser.parse_args(argv)
+    payload = json.loads(Path(args.artifact).read_text())
+    failures = check(payload, min_cases=args.min_cases)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    coverage = payload["coverage"]
+    print(
+        f"fuzz artifact valid: seed {payload['seed']}, "
+        f"{payload['cases']} cases, "
+        f"{len(coverage['classes'])} coverage classes, "
+        f"worst conservation error "
+        f"{payload['worst_conservation_error']:.3g}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
